@@ -1,0 +1,29 @@
+"""Figure 9: islandization clusters all nnz within several rounds."""
+
+from benchmarks.conftest import emit
+from repro.core import islandize
+from repro.eval.experiments import experiment_fig9
+
+
+def test_fig9_islandization_effect(benchmark):
+    result = benchmark.pedantic(
+        experiment_fig9, kwargs={"with_plots": True}, rounds=1, iterations=1
+    )
+    emit(result)
+    for row in result.rows:
+        # "within several rounds" (§4.2) and full nnz coverage.
+        assert row["rounds"] <= 10, row
+        assert row["island_edges_covered"] == "100%"
+        # Hubs stay a small fraction (§3.1.1).
+        assert row["hub_pct"] < 20.0
+    # NELL shows the most significant component structure (paper §4.2):
+    # it needs no more rounds than the other citation graphs.
+    rounds = {row["dataset"]: row["rounds"] for row in result.rows}
+    assert rounds["nell"] <= max(rounds.values())
+
+
+def test_fig9_locator_microbenchmark(benchmark, cora):
+    """Throughput of the Island Locator itself on full Cora."""
+    graph = cora.graph.without_self_loops()
+    result = benchmark(islandize, graph)
+    result.validate()

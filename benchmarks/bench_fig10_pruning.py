@@ -1,0 +1,22 @@
+"""Figure 10: shared-neighbour redundancy-removal pruning rates."""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import PAPER_FIG10_AGG, experiment_fig10
+
+
+def test_fig10_pruning_rates(benchmark):
+    result = benchmark.pedantic(experiment_fig10, rounds=1, iterations=1)
+    emit(result)
+    measured = {r["dataset"]: r["prune_agg"] for r in result.rows}
+    # Shape 1: mean aggregation pruning in the paper's band (38%).
+    assert 0.25 <= result.extras["mean_agg"] <= 0.55
+    # Shape 2: the paper's per-dataset ranking is preserved exactly:
+    # NELL > citeseer >= cora > pubmed > reddit.
+    assert measured["nell"] == max(measured.values())
+    assert measured["reddit"] == min(measured.values())
+    paper_rank = sorted(PAPER_FIG10_AGG, key=PAPER_FIG10_AGG.get)
+    ours_rank = sorted(measured, key=measured.get)
+    assert paper_rank == ours_rank
+    # Shape 3: every dataset within 15 points of the paper's bar.
+    for name, value in measured.items():
+        assert abs(value - PAPER_FIG10_AGG[name]) < 0.15, (name, value)

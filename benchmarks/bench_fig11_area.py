@@ -1,0 +1,11 @@
+"""Figure 11: ALM-normalised hardware consumption breakdown."""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import experiment_fig11
+
+
+def test_fig11_area_breakdown(benchmark):
+    result = benchmark.pedantic(experiment_fig11, rounds=1, iterations=1)
+    emit(result)
+    assert abs(result.extras["locator_fraction"] - 0.34) < 0.03
+    assert abs(result.extras["consumer_fraction"] - 0.66) < 0.03

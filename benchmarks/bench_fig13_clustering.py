@@ -1,0 +1,24 @@
+"""Figure 13: non-zero clustering quality, reorderings vs islandization."""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import experiment_fig13
+
+
+def test_fig13_clustering_quality(benchmark):
+    result = benchmark.pedantic(
+        experiment_fig13,
+        kwargs={"dataset": "cora", "with_plots": True},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    coverage = {row["layout"]: row["tile_cov"] for row in result.rows}
+    igcn = coverage["i-gcn (islandized)"]
+    # I-GCN clusters nnz at least as well as every lightweight
+    # reordering, and strictly better than the original layout.
+    assert igcn >= max(v for k, v in coverage.items() if k != "i-gcn (islandized)")
+    assert igcn > coverage["original"]
+    # The reordering baselines leave outlying non-zeros (paper: "many").
+    outliers = {row["layout"]: row["outliers"] for row in result.rows}
+    for name in ("hubsort", "hubcluster", "dbg"):
+        assert outliers[name] > outliers["i-gcn (islandized)"], name

@@ -1,0 +1,16 @@
+"""Table 1: PULL vs PUSH vs islandization characteristics."""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import experiment_table1
+
+
+def test_table1_method_comparison(benchmark):
+    result = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    emit(result)
+    traffic = {row["method"]: row["dram_mb"] for row in result.rows}
+    igcn = next(v for k, v in traffic.items() if "Islandization" in k)
+    pull = next(v for k, v in traffic.items() if "PULL" in k)
+    push = next(v for k, v in traffic.items() if "PUSH" in k)
+    # Table 1's qualitative ranking: islandization lowest off-chip access.
+    assert igcn < pull
+    assert igcn < push

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each bench module regenerates one table/figure of the paper via the
+experiment registry (``repro.eval.experiments``), prints the
+paper-vs-measured table, and asserts the *shape* of the published
+result (who wins, rank order, magnitude bands).  Heavy experiments are
+benchmarked with a single round; micro-kernels (islandization, window
+scan) use normal pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="session")
+def cora():
+    """Full-size Cora surrogate shared across bench modules."""
+    return load_dataset("cora", seed=7)
+
+
+def emit(result) -> None:
+    """Print a rendered experiment table into the bench log."""
+    print()
+    print(result.render())

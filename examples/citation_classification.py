@@ -1,0 +1,66 @@
+"""Functional end-to-end run: node classification over a citation graph.
+
+Demonstrates the *functional* simulation mode: the accelerator executes
+the real GCN math through the islandized schedule (pre-aggregation,
+window-scan reuse, hub partial sums over the ring) and the output is
+verified against the scipy reference — proving the paper's claim that
+redundancy removal is lossless ("The removal of these operations is
+lossless", §4.3).
+
+Run:
+    python examples/citation_classification.py
+"""
+
+import numpy as np
+
+from repro import IGCNAccelerator, gcn_model, load_dataset, reference_forward
+from repro.models import init_weights
+
+
+def main() -> None:
+    # A 25%-scale Citeseer surrogate with materialised sparse features
+    # and structure-correlated labels.
+    ds = load_dataset("citeseer", scale=0.25, with_features=True)
+    model = gcn_model(ds.num_features, ds.num_classes)
+    weights = init_weights(model, seed=42)
+
+    print(f"running functional inference on {ds.name} "
+          f"({ds.num_nodes} nodes, {ds.features.nnz} feature nnz)")
+    report = IGCNAccelerator().run(
+        ds.graph,
+        model,
+        features=ds.features,
+        weights=weights,
+        functional=True,
+        feature_density=ds.feature_density,
+    )
+
+    # Verify losslessness against the plain scipy execution.
+    reference = reference_forward(
+        ds.graph.without_self_loops(), model, ds.features, weights
+    )
+    max_err = float(np.max(np.abs(report.outputs - reference)))
+    print(f"max |islandized - reference| = {max_err:.2e}  (lossless)")
+    assert max_err < 1e-9
+
+    # The logits are untrained, but the full classification plumbing
+    # works: per-node predictions come straight from the accelerator.
+    predictions = report.outputs.argmax(axis=1)
+    distribution = np.bincount(predictions, minlength=ds.num_classes)
+    print(f"predicted class distribution (untrained weights): "
+          f"{distribution.tolist()}")
+
+    print(f"\nops actually performed: {report.total_macs:,} MACs "
+          f"({report.overall_pruning_rate:.1%} pruned vs per-edge baseline)")
+    print(f"simulated latency: {report.latency_us:.2f} us; "
+          f"energy efficiency: {report.graphs_per_kj:,.0f} Graph/kJ")
+    print("window scan mix per layer:")
+    for layer in report.layers:
+        scan = layer.scan
+        print(f"  layer {layer.layer_index}: full={scan.windows_full} "
+              f"subtract={scan.windows_subtract} direct={scan.windows_direct} "
+              f"skipped={scan.windows_skipped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Design-space exploration of the I-GCN microarchitecture.
+
+Sweeps the knobs the paper exposes but does not fully explore — MAC
+array width, pre-aggregation group width k, island-size cap c_max, and
+TP-BFS engine count — and reports latency, pruning, and the area split
+for each point.  Useful as a template for sizing an I-GCN instance for
+a new workload.
+
+Run:
+    python examples/design_space.py
+"""
+
+from repro import ConsumerConfig, IGCNAccelerator, LocatorConfig, gcn_model, load_dataset
+from repro.eval import render_table
+from repro.hw import HardwareConfig
+from repro.hw.area import AreaModel
+
+
+def sweep_macs(ds, model):
+    rows = []
+    for num_macs in (1024, 2048, 4096, 8192):
+        hw = HardwareConfig(num_macs=num_macs)
+        report = IGCNAccelerator(hw=hw).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        area = AreaModel(num_macs=num_macs).breakdown()
+        rows.append({
+            "num_macs": num_macs,
+            "latency_us": round(report.latency_us, 2),
+            "alms": area.total,
+            "consumer_share": round(area.consumer_fraction, 2),
+        })
+    print(render_table(rows, title="MAC array sweep (cora, GCN-algo)"))
+
+
+def sweep_preagg_k(ds, model, islandization):
+    rows = []
+    for k in (2, 4, 6, 8, 12):
+        acc = IGCNAccelerator(consumer=ConsumerConfig(preagg_k=k))
+        report = acc.run(
+            ds.graph, model, feature_density=ds.feature_density,
+            islandization=islandization,
+        )
+        rows.append({
+            "k": k,
+            "prune_agg": f"{report.aggregation_pruning_rate:.1%}",
+            "latency_us": round(report.latency_us, 2),
+        })
+    print(render_table(rows, title="Pre-aggregation width k sweep"))
+
+
+def sweep_cmax(ds, model):
+    rows = []
+    for c_max in (8, 32, 64, 128):
+        acc = IGCNAccelerator(locator=LocatorConfig(c_max=c_max))
+        report = acc.run(ds.graph, model, feature_density=ds.feature_density)
+        isl = report.islandization
+        rows.append({
+            "c_max": c_max,
+            "islands": isl.num_islands,
+            "rounds": isl.num_rounds,
+            "prune_agg": f"{report.aggregation_pruning_rate:.1%}",
+        })
+    print(render_table(rows, title="Island size cap c_max sweep"))
+
+
+def sweep_engines(ds, model):
+    rows = []
+    for p2 in (8, 32, 64, 128):
+        acc = IGCNAccelerator(locator=LocatorConfig(p2=p2))
+        report = acc.run(ds.graph, model, feature_density=ds.feature_density)
+        area = AreaModel(num_bfs_engines=p2).breakdown()
+        rows.append({
+            "tp_bfs_engines": p2,
+            "locator_cycles": round(report.locator_cycles),
+            "total_latency_us": round(report.latency_us, 2),
+            "locator_area_share": round(area.locator_fraction, 2),
+        })
+    print(render_table(rows, title="TP-BFS engine count sweep"))
+
+
+def main() -> None:
+    ds = load_dataset("cora")
+    model = gcn_model(ds.num_features, ds.num_classes)
+    islandization = IGCNAccelerator().islandize(ds.graph)
+
+    sweep_macs(ds, model)
+    sweep_preagg_k(ds, model, islandization)
+    sweep_cmax(ds, model)
+    sweep_engines(ds, model)
+
+
+if __name__ == "__main__":
+    main()

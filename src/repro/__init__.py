@@ -1,0 +1,71 @@
+"""I-GCN reproduction: runtime graph islandization for GCN acceleration.
+
+A from-scratch functional + performance simulation of the MICRO 2021
+paper *I-GCN: A Graph Convolutional Network Accelerator with Runtime
+Locality Enhancement through Islandization* (Geng et al.), including
+every substrate the evaluation depends on: graph storage and synthetic
+datasets, GCN/GraphSage/GIN models with a scipy reference, the Island
+Locator and Island Consumer, hardware cycle/energy/area models, the
+AWB-GCN / HyGCN / SIGMA / CPU / GPU baselines, six lightweight graph
+reorderings, and a benchmark harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import IGCNAccelerator, load_dataset, gcn_model
+
+    ds = load_dataset("cora")
+    model = gcn_model(ds.num_features, ds.num_classes)
+    report = IGCNAccelerator().run(ds.graph, model,
+                                   feature_density=ds.feature_density)
+    print(report.summary())
+"""
+
+from repro.core import (
+    ConsumerConfig,
+    IGCNAccelerator,
+    IGCNReport,
+    IslandLocator,
+    LocatorConfig,
+    islandize,
+)
+from repro.graph import (
+    CSRGraph,
+    Dataset,
+    GraphBuilder,
+    dataset_names,
+    load_dataset,
+)
+from repro.hw import HardwareConfig
+from repro.models import (
+    ModelConfig,
+    build_model,
+    gcn_model,
+    gin_model,
+    graphsage_model,
+    reference_forward,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IGCNAccelerator",
+    "IGCNReport",
+    "IslandLocator",
+    "islandize",
+    "LocatorConfig",
+    "ConsumerConfig",
+    "CSRGraph",
+    "GraphBuilder",
+    "Dataset",
+    "load_dataset",
+    "dataset_names",
+    "HardwareConfig",
+    "ModelConfig",
+    "gcn_model",
+    "graphsage_model",
+    "gin_model",
+    "build_model",
+    "reference_forward",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""HyGCN baseline (Yan et al., HPCA 2020).
+
+HyGCN is a hybrid ASIC: an aggregation engine (PULL-based, with
+sparsity-aware window sharding) feeding a combination engine (systolic
+arrays), 4608 fixed-point MACs at 1 GHz behind an HBM stack.
+
+Model summary
+-------------
+* full per-edge aggregation, aggregation-first order (HyGCN aggregates
+  raw features, then combines: MACs = nnz(A)·C_in + n·C_in·C_out per
+  layer — more arithmetic than combination-first, §2.2.1);
+* PULL feature fetches go through the aggregation engine's edge window;
+  the input feature working set beyond the on-chip buffer spills per
+  edge (window sharding trims this with a documented sharing factor);
+* HBM (256 GB/s) hides much of that traffic — HyGCN's published
+  argument — so it is memory-rich but compute-order-poor;
+* utilisation 0.30: HyGCN's own evaluation reports low aggregation
+  engine efficiency on extremely sparse graphs (load imbalance between
+  its two engines).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import AcceleratorModel
+from repro.graph.csr import CSRGraph
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import CacheModel, TrafficMeter
+from repro.models.workload import BYTES_PER_INDEX, BYTES_PER_VALUE, Workload
+
+__all__ = ["HyGCNAccelerator", "HYGCN_DEFAULT_HW"]
+
+HYGCN_DEFAULT_HW = HardwareConfig(
+    name="hygcn-asic",
+    num_macs=4608,
+    frequency_hz=1e9,
+    offchip_bandwidth_bps=256e9,   # HBM
+    compute_utilization=0.30,
+    total_power_w=6.7,             # HyGCN's published ASIC power
+    feature_buffer_bytes=16 * 1024 * 1024,
+)
+
+#: Fraction of per-edge feature refetches removed by HyGCN's window
+#: sharding (their graph-partitioning optimisation).
+WINDOW_SHARDING_FACTOR = 0.5
+
+
+class HyGCNAccelerator(AcceleratorModel):
+    """Hybrid aggregation/combination ASIC with PULL dataflow."""
+
+    name = "hygcn"
+
+    def __init__(self, hw: HardwareConfig | None = None) -> None:
+        super().__init__(hw or HYGCN_DEFAULT_HW)
+
+    def macs(self, workload: Workload) -> int:
+        # Aggregation-first: aggregate C_in-wide raw features, then
+        # combine the aggregated (dense) features.
+        total = 0
+        for layer in workload.layers:
+            total += layer.adjacency_nnz * layer.in_dim
+            total += workload.num_nodes * layer.in_dim * layer.out_dim
+        return total
+
+    def traffic(self, graph: CSRGraph, workload: Workload) -> TrafficMeter:
+        meter = TrafficMeter()
+        last = len(workload.layers) - 1
+        for layer in workload.layers:
+            result_category = (
+                "results" if layer.layer_index == last else "hidden-results"
+            )
+            meter.read("features", layer.feature_bytes)
+            meter.read("weights", layer.weight_bytes)
+            meter.read(
+                "adjacency",
+                layer.adjacency_nnz * (BYTES_PER_VALUE + BYTES_PER_INDEX),
+            )
+            # Aggregation-first pulls raw feature rows per edge.
+            row_bytes = layer.in_dim * BYTES_PER_VALUE
+            cache = CacheModel("hygcn-features", self.hw.feature_buffer_bytes)
+            cache.fit(workload.num_nodes * row_bytes)
+            spilled_edges = layer.adjacency_nnz * WINDOW_SHARDING_FACTOR
+            cache.access(
+                int(spilled_edges),
+                bytes_per_access=row_bytes,
+                meter=meter,
+                category="feature-refetch",
+            )
+            meter.write(
+                result_category,
+                workload.num_nodes * layer.out_dim * BYTES_PER_VALUE,
+            )
+        return meter

@@ -1,0 +1,61 @@
+"""Generic PULL (row-wise) aggregation dataflow (§2.2.2, Table 1).
+
+Nodes are aggregated sequentially; for each non-zero of A the target
+pulls the source's XW row.  The result matrix streams out row by row
+(small output buffer — the pull method's advantage) but the XW fetches
+are random-access: whenever the XW working set exceeds the on-chip
+feature buffer, the uncovered fraction of the per-edge row fetches
+spills to DRAM — the pull method's fundamental weakness the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import AcceleratorModel
+from repro.graph.csr import CSRGraph
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import CacheModel, TrafficMeter
+from repro.models.workload import BYTES_PER_INDEX, BYTES_PER_VALUE, Workload
+
+__all__ = ["PullAccelerator"]
+
+
+class PullAccelerator(AcceleratorModel):
+    """Row-wise pull dataflow with an XW row cache."""
+
+    name = "pull-row-wise"
+
+    def __init__(self, hw: HardwareConfig, *, feature_cache_bytes: int | None = None) -> None:
+        super().__init__(hw)
+        self.feature_cache_bytes = (
+            feature_cache_bytes
+            if feature_cache_bytes is not None
+            else hw.feature_buffer_bytes
+        )
+
+    def traffic(self, graph: CSRGraph, workload: Workload) -> TrafficMeter:
+        meter = TrafficMeter()
+        last = len(workload.layers) - 1
+        for layer in workload.layers:
+            result_category = "results" if layer.layer_index == last else "hidden-results"
+            # Input features and weights stream in once for combination.
+            meter.read("features", layer.feature_bytes)
+            meter.read("weights", layer.weight_bytes)
+            # Adjacency streams once (value + index per nnz).
+            meter.read(
+                "adjacency",
+                layer.adjacency_nnz * (BYTES_PER_VALUE + BYTES_PER_INDEX),
+            )
+            # Per-edge XW row pulls, spilling beyond the feature buffer.
+            row_bytes = layer.out_dim * BYTES_PER_VALUE
+            cache = CacheModel("xw-rows", self.feature_cache_bytes)
+            cache.fit(workload.num_nodes * row_bytes)
+            cache.access(
+                layer.adjacency_nnz,
+                bytes_per_access=row_bytes,
+                meter=meter,
+                category="xw-refetch",
+            )
+            # Results stream out once (good X_o reuse).
+            meter.write(result_category, workload.num_nodes * row_bytes)
+        return meter

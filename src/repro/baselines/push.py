@@ -1,0 +1,68 @@
+"""Generic PUSH (column-wise) aggregation dataflow (§2.2.2, Table 1).
+
+Features broadcast channel by channel: full XW reuse, but the partial
+result matrix is updated at random row positions.  When even one output
+column does not fit on-chip, every per-edge update becomes a
+read-modify-write against DRAM for the uncovered fraction.  The
+column-wise variant additionally re-reads the adjacency matrix once per
+channel pass — the second weakness Table 1 lists.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import AcceleratorModel
+from repro.graph.csr import CSRGraph
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import CacheModel, TrafficMeter
+from repro.models.workload import BYTES_PER_INDEX, BYTES_PER_VALUE, Workload
+
+__all__ = ["PushAccelerator"]
+
+
+class PushAccelerator(AcceleratorModel):
+    """Column-wise push dataflow with a partial-result buffer."""
+
+    name = "push-column-wise"
+
+    def __init__(
+        self,
+        hw: HardwareConfig,
+        *,
+        result_buffer_bytes: int | None = None,
+        adjacency_resident: bool = False,
+    ) -> None:
+        super().__init__(hw)
+        self.result_buffer_bytes = (
+            result_buffer_bytes
+            if result_buffer_bytes is not None
+            else hw.feature_buffer_bytes
+        )
+        #: When True the adjacency streams once per layer instead of once
+        #: per channel (an AWB-GCN-style improvement over naive push).
+        self.adjacency_resident = adjacency_resident
+
+    def traffic(self, graph: CSRGraph, workload: Workload) -> TrafficMeter:
+        meter = TrafficMeter()
+        last = len(workload.layers) - 1
+        for layer in workload.layers:
+            result_category = "results" if layer.layer_index == last else "hidden-results"
+            meter.read("features", layer.feature_bytes)
+            meter.read("weights", layer.weight_bytes)
+            adjacency_bytes = layer.adjacency_nnz * (
+                BYTES_PER_VALUE + BYTES_PER_INDEX
+            )
+            passes = 1 if self.adjacency_resident else layer.out_dim
+            meter.read("adjacency", adjacency_bytes * passes)
+            # One partial-result column is n values; uncovered fraction
+            # turns per-edge updates into DRAM read-modify-writes.
+            column_bytes = workload.num_nodes * BYTES_PER_VALUE
+            cache = CacheModel("result-column", self.result_buffer_bytes)
+            cache.fit(column_bytes)
+            cache.access(
+                layer.adjacency_nnz * layer.out_dim,
+                bytes_per_access=2 * BYTES_PER_VALUE,
+                meter=meter,
+                category="result-rmw",
+            )
+            meter.write(result_category, workload.num_nodes * layer.out_dim * BYTES_PER_VALUE)
+        return meter

@@ -1,0 +1,76 @@
+"""SIGMA baseline (Qin et al., HPCA 2020).
+
+SIGMA is a *general* sparse-GEMM accelerator (flexible interconnect,
+high MAC utilisation on irregular operands) — the paper's point of
+comparison for "SpMM accelerators need to handle all kinds of sparse
+matrices" (§5).  It is graph-agnostic, so:
+
+* it evaluates the GraphCONV as plain chained GEMMs in left-to-right
+  order ``(A · X) · W`` — it has no reason to know the combination-first
+  trick, and the paper's 16× average gap over SIGMA comes almost
+  entirely from this: ``A·X`` densifies, making the second multiply a
+  dense ``n × C_in × C_out`` GEMM;
+* sparse×sparse is handled well (utilisation 0.7 per their results);
+* envelope: 8192 fp MACs at 500 MHz behind 128 GB/s, per their paper.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import AcceleratorModel
+from repro.graph.csr import CSRGraph
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import TrafficMeter
+from repro.models.workload import BYTES_PER_INDEX, BYTES_PER_VALUE, Workload
+
+__all__ = ["SigmaAccelerator", "SIGMA_DEFAULT_HW"]
+
+SIGMA_DEFAULT_HW = HardwareConfig(
+    name="sigma",
+    num_macs=8192,
+    frequency_hz=500e6,
+    offchip_bandwidth_bps=128e9,
+    compute_utilization=0.70,
+    total_power_w=22.0,
+)
+
+
+class SigmaAccelerator(AcceleratorModel):
+    """Flexible sparse-GEMM engine running GraphCONV aggregation-first."""
+
+    name = "sigma"
+
+    def __init__(self, hw: HardwareConfig | None = None) -> None:
+        super().__init__(hw or SIGMA_DEFAULT_HW)
+
+    def macs(self, workload: Workload) -> int:
+        total = 0
+        for layer in workload.layers:
+            # A (sparse) x X (sparse at layer 0): one MAC per (edge,
+            # nnz-of-source-row) pair; the density term captures X's nnz.
+            density = layer.feature_nnz / (workload.num_nodes * layer.in_dim)
+            total += int(layer.adjacency_nnz * layer.in_dim * density)
+            # (A X) is dense: full dense GEMM against W.
+            total += workload.num_nodes * layer.in_dim * layer.out_dim
+        return total
+
+    def traffic(self, graph: CSRGraph, workload: Workload) -> TrafficMeter:
+        meter = TrafficMeter()
+        last = len(workload.layers) - 1
+        for layer in workload.layers:
+            result_category = (
+                "results" if layer.layer_index == last else "hidden-results"
+            )
+            meter.read("features", layer.feature_bytes)
+            meter.read("weights", layer.weight_bytes)
+            meter.read(
+                "adjacency",
+                layer.adjacency_nnz * (BYTES_PER_VALUE + BYTES_PER_INDEX),
+            )
+            # The densified intermediate (A X) spills and returns.
+            intermediate = workload.num_nodes * layer.in_dim * BYTES_PER_VALUE
+            meter.write("intermediate", intermediate)
+            meter.read("intermediate", intermediate)
+            meter.write(
+                result_category, workload.num_nodes * layer.out_dim * BYTES_PER_VALUE
+            )
+        return meter

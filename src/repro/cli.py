@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       simulate one inference and print the report
+``islandize`` run only the Island Locator and print round statistics
+``compare``   cross-platform comparison on one dataset
+``spy``       ASCII spy plot of a dataset before/after islandization
+``experiments`` regenerate every paper table/figure (slow)
+
+Examples
+--------
+::
+
+    python -m repro run --dataset cora --model gcn
+    python -m repro islandize --dataset citeseer --cmax 32
+    python -m repro compare --dataset pubmed
+    python -m repro spy --dataset cora
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    AWBGCNAccelerator,
+    HyGCNAccelerator,
+    SigmaAccelerator,
+    get_platform,
+    platform_names,
+)
+from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
+from repro.eval import render_table, spy
+from repro.eval.experiments import (
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_table1,
+    experiment_table2,
+)
+from repro.graph import dataset_names, load_dataset
+from repro.models import build_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="I-GCN (MICRO 2021) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=dataset_names(), default="cora")
+        p.add_argument("--scale", type=float, default=None,
+                       help="node-count multiplier (default: per-dataset)")
+        p.add_argument("--seed", type=int, default=7)
+
+    run = sub.add_parser("run", help="simulate one inference")
+    add_dataset_args(run)
+    run.add_argument("--model", choices=["gcn", "graphsage", "gin"],
+                     default="gcn")
+    run.add_argument("--variant", choices=["algo", "hy"], default="algo")
+    run.add_argument("--preagg-k", type=int, default=6)
+    run.add_argument("--cmax", type=int, default=64)
+    run.add_argument("--functional", action="store_true",
+                     help="execute real math and verify vs reference")
+
+    isl = sub.add_parser("islandize", help="run only the Island Locator")
+    add_dataset_args(isl)
+    isl.add_argument("--cmax", type=int, default=64)
+    isl.add_argument("--th0", type=int, default=None)
+    isl.add_argument("--decay", type=float, default=0.5)
+
+    cmp_ = sub.add_parser("compare", help="cross-platform comparison")
+    add_dataset_args(cmp_)
+    cmp_.add_argument("--variant", choices=["algo", "hy"], default="algo")
+
+    spy_ = sub.add_parser("spy", help="ASCII spy plot, before/after")
+    add_dataset_args(spy_)
+    spy_.add_argument("--resolution", type=int, default=48)
+
+    exp = sub.add_parser("experiments", help="regenerate all paper results")
+    exp.add_argument(
+        "--only",
+        choices=["table1", "table2", "fig9", "fig10", "fig11", "fig12",
+                 "fig13", "fig14"],
+        default=None,
+    )
+    return parser
+
+
+def _cmd_run(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                      with_features=args.functional)
+    model_kwargs = {} if args.model == "gin" else {"variant": args.variant}
+    model = build_model(args.model, ds.num_features, ds.num_classes,
+                        **model_kwargs)
+    acc = IGCNAccelerator(
+        locator=LocatorConfig(c_max=args.cmax),
+        consumer=ConsumerConfig(preagg_k=args.preagg_k),
+    )
+    report = acc.run(
+        ds.graph, model, feature_density=ds.feature_density,
+        functional=args.functional,
+        features=ds.features if args.functional else None,
+    )
+    print(render_table([report.summary()], title=f"I-GCN on {ds.name}"))
+    if args.functional:
+        import numpy as np
+
+        from repro.models import init_weights, reference_forward
+
+        ref = reference_forward(
+            ds.graph.without_self_loops(), model, ds.features,
+            init_weights(model, seed=0),
+        )
+        err = float(np.max(np.abs(report.outputs - ref)))
+        print(f"max |islandized - reference| = {err:.2e}")
+    return 0
+
+
+def _cmd_islandize(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = LocatorConfig(c_max=args.cmax, th0=args.th0, decay=args.decay)
+    result = IGCNAccelerator(locator=config).islandize(ds.graph)
+    result.validate()
+    rows = [
+        {
+            "round": r.round_id,
+            "threshold": r.threshold,
+            "remaining": r.nodes_remaining,
+            "hubs": r.hubs_found,
+            "islands": r.islands_found,
+            "islanded": r.nodes_islanded,
+            "cmax_drops": r.tasks_dropped_cmax,
+        }
+        for r in result.rounds
+    ]
+    print(render_table(rows, title=f"islandization of {ds.name}"))
+    print(f"\ntotal: {result.num_islands} islands, {result.num_hubs} hubs "
+          f"({result.hub_fraction:.1%}), "
+          f"{len(result.interhub_edges)} inter-hub edges; "
+          f"edge coverage validated")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model = build_model("gcn", ds.num_features, ds.num_classes,
+                        variant=args.variant)
+    igcn = IGCNAccelerator().run(
+        ds.graph, model, feature_density=ds.feature_density
+    )
+    rows = [
+        {"platform": "i-gcn", "latency_us": round(igcn.latency_us, 2),
+         "speedup": 1.0, "dram_mb": round(igcn.offchip_bytes / 1e6, 3)}
+    ]
+    hw_baselines = [AWBGCNAccelerator(), HyGCNAccelerator(), SigmaAccelerator()]
+    for accel in hw_baselines:
+        rep = accel.run(ds.graph, model, feature_density=ds.feature_density)
+        rows.append({
+            "platform": rep.platform,
+            "latency_us": round(rep.latency_us, 2),
+            "speedup": round(rep.latency_us / igcn.latency_us, 2),
+            "dram_mb": round(rep.offchip_bytes / 1e6, 3),
+        })
+    for name in platform_names():
+        rep = get_platform(name).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        rows.append({
+            "platform": name,
+            "latency_us": round(rep.latency_us, 2),
+            "speedup": round(rep.latency_us / igcn.latency_us, 1),
+        })
+    print(render_table(rows, title=f"cross-platform on {ds.name} "
+                                   f"(GCN-{args.variant})"))
+    return 0
+
+
+def _cmd_spy(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    base = ds.graph.without_self_loops()
+    print(spy(base, resolution=args.resolution,
+              title=f"--- {ds.name}: original ---"))
+    result = IGCNAccelerator().islandize(ds.graph)
+    reordered = base.permute(result.island_permutation())
+    print()
+    print(spy(reordered, resolution=args.resolution, anti_diagonal=True,
+              title=f"--- {ds.name}: islandized ({result.num_rounds} rounds) ---"))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    registry = {
+        "table1": experiment_table1,
+        "table2": experiment_table2,
+        "fig9": experiment_fig9,
+        "fig10": experiment_fig10,
+        "fig11": experiment_fig11,
+        "fig12": experiment_fig12,
+        "fig13": experiment_fig13,
+        "fig14": experiment_fig14,
+    }
+    selected = [args.only] if args.only else list(registry)
+    for name in selected:
+        print(registry[name]().render())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "islandize": _cmd_islandize,
+        "compare": _cmd_compare,
+        "spy": _cmd_spy,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

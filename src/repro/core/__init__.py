@@ -1,0 +1,37 @@
+"""I-GCN core: islandization (Island Locator) + Island Consumer."""
+
+from repro.core.accelerator import IGCNAccelerator, IGCNReport
+from repro.core.bitmap import IslandTask, build_island_task
+from repro.core.config import ConsumerConfig, LocatorConfig
+from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
+from repro.core.interhub import InterHubPlan, build_interhub_plan
+from repro.core.islandizer import IslandLocator, islandize
+from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
+from repro.core.schedule import PEScheduleReport, ScheduledTask, schedule_islands
+from repro.core.types import Island, IslandizationResult, LocatorWork, RoundStats
+
+__all__ = [
+    "IGCNAccelerator",
+    "IGCNReport",
+    "IslandTask",
+    "build_island_task",
+    "ConsumerConfig",
+    "LocatorConfig",
+    "IslandConsumer",
+    "LayerCounts",
+    "prepare_tasks",
+    "InterHubPlan",
+    "build_interhub_plan",
+    "IslandLocator",
+    "islandize",
+    "ScanCounts",
+    "PEScheduleReport",
+    "ScheduledTask",
+    "schedule_islands",
+    "scan_aggregate",
+    "scan_costs",
+    "Island",
+    "IslandizationResult",
+    "LocatorWork",
+    "RoundStats",
+]

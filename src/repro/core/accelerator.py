@@ -1,0 +1,271 @@
+"""The I-GCN accelerator: locator + consumer + hardware models.
+
+:class:`IGCNAccelerator` is the library's front door.  ``run`` performs
+a full multi-layer inference:
+
+1. islandize the (self-loop-free) graph once — structure is shared by
+   all layers;
+2. build island tasks and the inter-hub plan once;
+3. run the Island Consumer per layer (functional or counting);
+4. fold operation counts, DRAM traffic, locator work, and the
+   locator/consumer overlap into latency and energy via ``repro.hw``.
+
+The returned :class:`IGCNReport` carries everything the paper's tables
+and figures need: pruning rates (Fig 10), traffic breakdown (Fig 14A),
+latency/EE (Table 2, Fig 14B), round statistics (Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bitmap import IslandTask
+from repro.core.config import ConsumerConfig, LocatorConfig
+from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
+from repro.core.interhub import build_interhub_plan
+from repro.core.islandizer import IslandLocator
+from repro.core.pipeline import pipelined_makespan
+from repro.core.types import IslandizationResult
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import Dataset
+from repro.hw.config import HardwareConfig, IGCN_DEFAULT
+from repro.hw.energy import EnergyReport, estimate_energy
+from repro.hw.memory import TrafficMeter, effective_offchip_bytes
+from repro.models.configs import ModelConfig
+from repro.models.reference import init_weights, normalization_for
+
+__all__ = ["IGCNAccelerator", "IGCNReport"]
+
+
+@dataclass
+class IGCNReport:
+    """Complete result of one simulated I-GCN inference."""
+
+    graph_name: str
+    model_name: str
+    islandization: IslandizationResult
+    layers: list[LayerCounts]
+    meter: TrafficMeter
+    locator_cycles: float
+    consumer_cycles: float
+    total_cycles: float
+    latency_us: float
+    energy: EnergyReport
+    outputs: np.ndarray | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_macs(self) -> int:
+        """MACs actually performed (with redundancy removal)."""
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def total_baseline_macs(self) -> int:
+        """MACs a no-reuse dataflow would perform."""
+        return sum(layer.total_baseline_macs for layer in self.layers)
+
+    @property
+    def aggregation_pruning_rate(self) -> float:
+        """Figure 10 (left): fraction of aggregation MACs pruned."""
+        baseline = sum(layer.aggregation_baseline_macs for layer in self.layers)
+        pruned = sum(layer.aggregation_pruned_macs for layer in self.layers)
+        return pruned / baseline if baseline else 0.0
+
+    @property
+    def overall_pruning_rate(self) -> float:
+        """Figure 10 (right): fraction of *all* MACs pruned."""
+        baseline = self.total_baseline_macs
+        return (baseline - self.total_macs) / baseline if baseline else 0.0
+
+    @property
+    def aggregation_fraction(self) -> float:
+        """Share of baseline ops in aggregation (paper: ~23 % average)."""
+        baseline = self.total_baseline_macs
+        agg = sum(layer.aggregation_baseline_macs for layer in self.layers)
+        return agg / baseline if baseline else 0.0
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Total DRAM traffic."""
+        return self.meter.total_bytes
+
+    @property
+    def graphs_per_kj(self) -> float:
+        """Table 2's energy-efficiency metric."""
+        return self.energy.graphs_per_kj
+
+    def summary(self) -> dict[str, object]:
+        """Key metrics as a flat dict (for table rendering)."""
+        return {
+            "graph": self.graph_name,
+            "model": self.model_name,
+            "rounds": self.islandization.num_rounds,
+            "islands": self.islandization.num_islands,
+            "hubs": self.islandization.num_hubs,
+            "macs": self.total_macs,
+            "prune_agg": round(self.aggregation_pruning_rate, 4),
+            "prune_all": round(self.overall_pruning_rate, 4),
+            "dram_mb": round(self.offchip_bytes / 1e6, 3),
+            "latency_us": round(self.latency_us, 3),
+            "graphs_per_kj": round(self.graphs_per_kj, 1),
+        }
+
+
+class IGCNAccelerator:
+    """Functional + performance simulator of the I-GCN design."""
+
+    def __init__(
+        self,
+        hw: HardwareConfig | None = None,
+        locator: LocatorConfig | None = None,
+        consumer: ConsumerConfig | None = None,
+    ) -> None:
+        self.hw = hw or IGCN_DEFAULT
+        self.locator_config = locator or LocatorConfig()
+        self.consumer_config = consumer or ConsumerConfig()
+
+    # ------------------------------------------------------------------
+    def islandize(self, graph: CSRGraph) -> IslandizationResult:
+        """Run only the Island Locator (strips self-loops first)."""
+        return IslandLocator(self.locator_config).run(graph.without_self_loops())
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: CSRGraph,
+        model: ModelConfig,
+        *,
+        features=None,
+        weights: list[np.ndarray] | None = None,
+        feature_density: float = 1.0,
+        functional: bool = False,
+        seed: int = 0,
+        islandization: IslandizationResult | None = None,
+    ) -> IGCNReport:
+        """Simulate one inference of ``model`` over ``graph``.
+
+        Functional mode (``functional=True``) computes real outputs and
+        requires ``features`` (dense or scipy-sparse); weights default
+        to the deterministic Glorot initialisation shared with the
+        reference implementation.
+        """
+        if functional and features is None:
+            raise SimulationError("functional mode requires features")
+        clean = graph.without_self_loops()
+        result = islandization or IslandLocator(self.locator_config).run(clean)
+
+        norm = normalization_for(clean, model.aggregation, gin_eps=model.gin_eps)
+        tasks = prepare_tasks(result, add_self_loops=norm.add_self_loops)
+        interhub = build_interhub_plan(result, add_self_loops=norm.add_self_loops)
+        if functional and weights is None:
+            weights = init_weights(model, seed=seed)
+
+        consumer = IslandConsumer(self.consumer_config, self.hw)
+        meter = TrafficMeter()
+        meter.read("adjacency", result.work.total_adjacency_bytes)
+
+        layer_counts: list[LayerCounts] = []
+        layer_cycles: list[float] = []
+        x = features
+        for idx, layer in enumerate(model.layers):
+            layer_meter = TrafficMeter()
+            execution = consumer.run_layer(
+                result,
+                tasks,
+                interhub,
+                norm,
+                layer,
+                layer_index=idx,
+                meter=layer_meter,
+                x=x if functional else None,
+                w=weights[idx] if functional else None,
+                feature_density=feature_density if idx == 0 else 1.0,
+                final_layer=idx == model.num_layers - 1,
+            )
+            layer_counts.append(execution.counts)
+            compute = execution.counts.total_macs / self.hw.macs_per_cycle
+            # Latency charges only the bytes that must cross the pins;
+            # read-mostly operands reside on-chip up to capacity
+            # (§4.6.1's practical configuration).
+            memory = (
+                effective_offchip_bytes(layer_meter, self.hw.onchip_capacity_bytes)
+                / self.hw.bytes_per_cycle
+            )
+            layer_cycles.append(max(compute, memory))
+            meter.merge(layer_meter)
+            if functional:
+                x = execution.output
+
+        locator_cycles, consumer_cycles, total_cycles = self._latency(
+            result, layer_cycles
+        )
+        latency_s = self.hw.cycles_to_seconds(total_cycles)
+        energy = estimate_energy(
+            self.hw,
+            latency_s=latency_s,
+            macs=sum(c.total_macs for c in layer_counts),
+            dram_bytes=meter.total_bytes,
+        )
+        return IGCNReport(
+            graph_name=graph.name,
+            model_name=model.name,
+            islandization=result,
+            layers=layer_counts,
+            meter=meter,
+            locator_cycles=locator_cycles,
+            consumer_cycles=consumer_cycles,
+            total_cycles=total_cycles,
+            latency_us=self.hw.cycles_to_us(total_cycles),
+            energy=energy,
+            outputs=x if functional else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _latency(
+        self, result: IslandizationResult, layer_cycles: list[float]
+    ) -> tuple[float, float, float]:
+        """Overlap the locator with the consumer (Fig 3's pipeline)."""
+        config = self.locator_config
+        # Adjacency beyond on-chip capacity pays DRAM bandwidth.
+        adjacency_spill = max(
+            0.0, result.work.total_adjacency_bytes - self.hw.onchip_capacity_bytes
+        )
+        spill_cycles_per_byte = (
+            adjacency_spill / result.work.total_adjacency_bytes
+            / self.hw.bytes_per_cycle
+            if result.work.total_adjacency_bytes
+            else 0.0
+        )
+        round_cycles = []
+        for stats in result.rounds:
+            detect = stats.detect_items / config.p1
+            scans = (stats.adjacency_bytes / 4) / config.p2
+            dram = stats.adjacency_bytes * spill_cycles_per_byte
+            round_cycles.append(max(detect, scans, dram))
+        locator_cycles = float(sum(round_cycles))
+        consumer_cycles = float(sum(layer_cycles))
+
+        # Islands stream to the consumer *as they form* (§3.1.1: no
+        # per-round synchronisation on the consumer side), so round r's
+        # work becomes available from the round's *start*; only the
+        # locator's production rate can starve the consumer, which the
+        # release-time makespan captures.  A small fixed fill covers the
+        # first-island delay.
+        cumulative = np.cumsum(round_cycles) if round_cycles else np.zeros(1)
+        releases = [0.0] + cumulative[:-1].tolist()
+        islanded = np.asarray(
+            [s.nodes_islanded + s.hubs_found for s in result.rounds], dtype=np.float64
+        )
+        if islanded.sum() == 0:
+            shares = np.ones(len(releases)) / len(releases)
+        else:
+            shares = islanded / islanded.sum()
+        chunks = (shares * consumer_cycles).tolist()
+        pipeline_fill = 64.0
+        total = max(
+            pipelined_makespan(releases, chunks), locator_cycles
+        ) + pipeline_fill
+        return locator_cycles, consumer_cycles, total

@@ -1,0 +1,107 @@
+"""Island task construction: the local adjacency bitmap.
+
+An island evaluation task (§3.3.1) carries the island's node ids, the
+attached hub ids, and a small dense *bitmap* of the local connectivity.
+Layout (matching Figure 7, where the hub column leads):
+
+* local order = ``[hubs..., members...]``;
+* ``bitmap[t, s]`` = 1 iff the edge (local t ← local s) is aggregated in
+  this task: rows are aggregation targets, columns are sources;
+* the hub×hub block is *zero* — inter-hub connections are handled by
+  dedicated push tasks, never inside islands (this keeps the space
+  between L-shapes blank, §3.1.1);
+* when the model's normalisation adds self-loops (GCN/GraphSage), the
+  member diagonal is set; hub self-loops belong to the inter-hub plan.
+
+Hub rows are derived from member adjacency by symmetry instead of
+scanning the hubs' (long) neighbour lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Island
+from repro.graph.csr import CSRGraph
+
+__all__ = ["IslandTask", "build_island_task"]
+
+
+@dataclass(frozen=True)
+class IslandTask:
+    """One island evaluation task for a PE."""
+
+    island: Island
+    local_nodes: np.ndarray   # global ids, [hubs..., members...]
+    num_hubs: int
+    bitmap: np.ndarray        # (L, L) bool
+
+    @property
+    def num_locals(self) -> int:
+        """Total rows/columns of the bitmap."""
+        return len(self.local_nodes)
+
+    @property
+    def num_members(self) -> int:
+        """Island nodes in this task."""
+        return self.num_locals - self.num_hubs
+
+    @property
+    def member_nodes(self) -> np.ndarray:
+        """Global ids of the members (local order)."""
+        return self.local_nodes[self.num_hubs:]
+
+    @property
+    def hub_nodes(self) -> np.ndarray:
+        """Global ids of the attached hubs (local order)."""
+        return self.local_nodes[: self.num_hubs]
+
+    @property
+    def nnz(self) -> int:
+        """Directed entries this task aggregates."""
+        return int(self.bitmap.sum())
+
+
+def build_island_task(
+    graph: CSRGraph,
+    island: Island,
+    *,
+    add_self_loops: bool,
+) -> IslandTask:
+    """Assemble the local bitmap for ``island`` from the global CSR.
+
+    ``graph`` must be the self-loop-free graph the locator ran on; the
+    diagonal is synthesised from ``add_self_loops``.
+    """
+    local_nodes = island.local_order
+    num_hubs = island.num_hubs
+    size = len(local_nodes)
+    bitmap = np.zeros((size, size), dtype=bool)
+
+    # Sorted view for O(log L) membership mapping of neighbour ids.
+    sort_idx = np.argsort(local_nodes)
+    sorted_ids = local_nodes[sort_idx]
+
+    for local_t in range(num_hubs, size):
+        node = int(local_nodes[local_t])
+        neigh = graph.neighbors(node)
+        pos = np.searchsorted(sorted_ids, neigh)
+        pos = np.clip(pos, 0, size - 1)
+        hit = sorted_ids[pos] == neigh
+        local_sources = sort_idx[pos[hit]]
+        bitmap[local_t, local_sources] = True
+        # Mirror the member->hub entries into the hub rows (L-shape).
+        hub_sources = local_sources[local_sources < num_hubs]
+        bitmap[hub_sources, local_t] = True
+
+    if add_self_loops and size > num_hubs:
+        member_range = np.arange(num_hubs, size)
+        bitmap[member_range, member_range] = True
+    return IslandTask(
+        island=island,
+        local_nodes=local_nodes,
+        num_hubs=num_hubs,
+        bitmap=bitmap,
+    )

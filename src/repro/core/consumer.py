@@ -1,0 +1,253 @@
+"""The Island Consumer: combination + aggregation over island tasks.
+
+Executes one GraphCONV layer (combination-first, §2.2.1) against an
+:class:`IslandizationResult`:
+
+1. **Combination** — ``XW`` per node; hub rows are computed once and
+   held in the HUB XW cache.  Source normalisation (``a_u``) is applied
+   here so group pre-sums are reusable across targets (see
+   ``repro.models.reference``).
+2. **Pre-aggregation + window scan** — per island task, the 1×k scan of
+   ``repro.core.preagg`` with automatic add-vs-subtract selection.
+3. **Hub partials** — hub rows of each island accumulate into DHUB-PRC
+   via the ring network; inter-hub push tasks finish the hub sums.
+4. **Finalisation** — target normalisation (``b_v``), the GIN self
+   term, and the activation.
+
+Both modes share one code path: counting always happens; *functional*
+mode additionally carries feature values so the output can be checked
+against the scipy reference (losslessness tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.bitmap import IslandTask, build_island_task
+from repro.core.config import ConsumerConfig
+from repro.core.hub_cache import HubPartialResultCache, HubXWCache
+from repro.core.interhub import InterHubPlan, build_interhub_plan
+from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
+from repro.core.types import IslandizationResult
+from repro.errors import SimulationError
+from repro.hw.config import HardwareConfig
+from repro.hw.memory import TrafficMeter
+from repro.hw.ring import RingNetwork
+from repro.models.configs import LayerSpec
+from repro.models.reference import NormalizationSpec
+
+__all__ = ["LayerCounts", "LayerExecution", "IslandConsumer", "prepare_tasks"]
+
+_BYTES = 4
+
+
+def prepare_tasks(
+    result: IslandizationResult, *, add_self_loops: bool
+) -> list[IslandTask]:
+    """Build every island's bitmap task (shared across layers)."""
+    return [
+        build_island_task(result.graph, island, add_self_loops=add_self_loops)
+        for island in result.islands
+    ]
+
+
+@dataclass
+class LayerCounts:
+    """Operation accounting for one layer pass through the consumer."""
+
+    layer_index: int
+    in_dim: int
+    out_dim: int
+    combination_macs: int = 0
+    scale_macs: int = 0
+    scan: ScanCounts = field(default_factory=ScanCounts)
+    interhub_ops: int = 0        # vector ops (directed edges + hub diagonals)
+
+    @property
+    def aggregation_baseline_macs(self) -> int:
+        """Per-edge aggregation MACs without islandization."""
+        return (self.scan.baseline_ops + self.interhub_ops) * self.out_dim
+
+    @property
+    def aggregation_actual_macs(self) -> int:
+        """Aggregation MACs after redundancy removal."""
+        return (self.scan.total_ops + self.interhub_ops) * self.out_dim
+
+    @property
+    def aggregation_pruned_macs(self) -> int:
+        """MACs eliminated by shared-neighbour reuse."""
+        return self.aggregation_baseline_macs - self.aggregation_actual_macs
+
+    @property
+    def aggregation_pruning_rate(self) -> float:
+        """Fraction of aggregation work pruned (Figure 10, per layer)."""
+        baseline = self.aggregation_baseline_macs
+        return self.aggregation_pruned_macs / baseline if baseline else 0.0
+
+    @property
+    def total_macs(self) -> int:
+        """All MACs this layer actually performs."""
+        return self.combination_macs + self.scale_macs + self.aggregation_actual_macs
+
+    @property
+    def total_baseline_macs(self) -> int:
+        """All MACs a no-reuse dataflow would perform."""
+        return self.combination_macs + self.scale_macs + self.aggregation_baseline_macs
+
+
+@dataclass
+class LayerExecution:
+    """Result of running one layer."""
+
+    counts: LayerCounts
+    output: np.ndarray | None = None
+
+
+class IslandConsumer:
+    """PE-array model evaluating island and inter-hub tasks."""
+
+    def __init__(
+        self,
+        config: ConsumerConfig | None = None,
+        hw: HardwareConfig | None = None,
+    ) -> None:
+        self.config = config or ConsumerConfig()
+        self.hw = hw or HardwareConfig()
+        self.ring = RingNetwork(self.config.num_pes)
+
+    # ------------------------------------------------------------------
+    def run_layer(
+        self,
+        result: IslandizationResult,
+        tasks: list[IslandTask],
+        interhub: InterHubPlan,
+        norm: NormalizationSpec,
+        layer: LayerSpec,
+        *,
+        layer_index: int,
+        meter: TrafficMeter,
+        x=None,
+        w: np.ndarray | None = None,
+        feature_density: float = 1.0,
+        final_layer: bool = True,
+    ) -> LayerExecution:
+        """Run one GraphCONV layer.
+
+        Functional mode when ``x`` and ``w`` are given (returns the
+        output matrix); otherwise performance mode (counts only, using
+        ``feature_density`` for the input nnz estimate).
+        """
+        functional = x is not None
+        if functional and w is None:
+            raise SimulationError("functional mode needs both x and w")
+        n = result.graph.num_nodes
+        counts = LayerCounts(
+            layer_index=layer_index, in_dim=layer.in_dim, out_dim=layer.out_dim
+        )
+        hub_ids = result.hub_ids
+        hub_index = {int(h): i for i, h in enumerate(hub_ids)}
+        row_bytes = layer.out_dim * _BYTES
+        xw_cache = HubXWCache(
+            capacity_bytes=self.hw.hub_xw_cache_bytes,
+            row_bytes=row_bytes,
+            num_hubs=len(hub_ids),
+        )
+        prc = HubPartialResultCache(
+            capacity_bytes=self.hw.hub_prc_bytes,
+            row_bytes=row_bytes,
+            num_hubs=len(hub_ids),
+            num_banks=self.config.num_pes,
+        )
+
+        # ---------------- combination ---------------------------------
+        if functional:
+            xw = np.asarray(x @ w, dtype=np.float64)
+            input_nnz = (
+                int(x.nnz) if sparse.issparse(x) else int(np.count_nonzero(x))
+            )
+        else:
+            xw = None
+            input_nnz = int(round(n * layer.in_dim * feature_density))
+        counts.combination_macs = input_nnz * layer.out_dim
+
+        scale_source = not np.allclose(norm.source_scale, 1.0)
+        if scale_source:
+            counts.scale_macs += n * layer.out_dim
+        xw_scaled = (
+            norm.source_scale[:, None] * xw if functional and scale_source
+            else xw
+        )
+
+        # DRAM: features in (once), weights (once).
+        if feature_density < 1.0 and layer_index == 0:
+            meter.read("features", input_nnz * (_BYTES + _BYTES))
+        else:
+            meter.read("features", n * layer.in_dim * _BYTES)
+        meter.read("weights", layer.in_dim * layer.out_dim * _BYTES)
+
+        # ---------------- island tasks ---------------------------------
+        out = np.zeros((n, layer.out_dim), dtype=np.float64) if functional else None
+        hub_acc = (
+            np.zeros((len(hub_ids), layer.out_dim), dtype=np.float64)
+            if functional
+            else None
+        )
+        k = self.config.preagg_k
+        for task_idx, task in enumerate(tasks):
+            pe = task_idx % self.config.num_pes
+            if functional:
+                acc, scan = scan_aggregate(
+                    task.bitmap, k, xw_scaled[task.local_nodes],
+                    boundary=task.num_hubs,
+                )
+            else:
+                scan = scan_costs(task.bitmap, k, boundary=task.num_hubs)
+                acc = None
+            counts.scan.merge(scan)
+            xw_cache.access(task.num_hubs, meter)
+            for local_row, hub in enumerate(task.hub_nodes.tolist()):
+                self.ring.send(pe, hub)
+                prc.update(hub, meter)
+                if functional:
+                    hub_acc[hub_index[hub]] += acc[local_row]
+            if functional:
+                members = task.member_nodes
+                out[members] = acc[task.num_hubs:]
+            self.ring.drain()
+
+        # ---------------- inter-hub tasks ------------------------------
+        counts.interhub_ops = interhub.num_ops
+        for target, source in interhub.directed_edges.tolist():
+            xw_cache.access(1, meter)
+            prc.update(target, meter)
+            if functional:
+                hub_acc[hub_index[target]] += xw_scaled[source]
+        for hub in interhub.self_loop_hubs.tolist():
+            prc.update(hub, meter)
+            if functional:
+                hub_acc[hub_index[hub]] += xw_scaled[hub]
+
+        # ---------------- finalisation ---------------------------------
+        scale_target = not np.allclose(norm.target_scale, 1.0)
+        if scale_target:
+            counts.scale_macs += n * layer.out_dim
+        if norm.self_weight != 0.0:
+            counts.scale_macs += n * layer.out_dim
+        if functional:
+            if len(hub_ids):
+                out[hub_ids] = hub_acc
+            if scale_target:
+                out *= norm.target_scale[:, None]
+            if norm.self_weight != 0.0:
+                out += norm.self_weight * xw
+            if layer.activation == "relu":
+                np.maximum(out, 0.0, out=out)
+
+        # Hidden activations are residence-eligible; only the last
+        # layer's results must stream to DRAM unconditionally.
+        category = "results" if final_layer else "hidden-results"
+        meter.write(category, n * layer.out_dim * _BYTES)
+        return LayerExecution(counts=counts, output=out)

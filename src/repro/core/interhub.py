@@ -1,0 +1,61 @@
+"""Inter-hub aggregation tasks (§3.3.2).
+
+Hub-hub connections are not part of any island task; the Island
+Collector keeps an inter-hub edge map (filled in by the TP-BFS engines
+when a BFS seed turns out to be a hub) and issues push-outer-product
+tasks over it: each directed entry (target ← source) adds the source
+hub's cached XW row into the target hub's partial result.
+
+When the model's normalisation includes self-loops, hub diagonals are
+also carried here (member diagonals live in the island bitmaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import IslandizationResult
+
+__all__ = ["InterHubPlan", "build_interhub_plan"]
+
+
+@dataclass(frozen=True)
+class InterHubPlan:
+    """Directed hub-hub work list."""
+
+    directed_edges: np.ndarray   # (E, 2) rows of (target, source)
+    self_loop_hubs: np.ndarray   # hub ids receiving a diagonal term
+
+    @property
+    def num_ops(self) -> int:
+        """Vector accumulations this plan performs."""
+        return len(self.directed_edges) + len(self.self_loop_hubs)
+
+    def macs(self, out_dim: int) -> int:
+        """MACs at a given feature width."""
+        return self.num_ops * out_dim
+
+
+def build_interhub_plan(
+    result: IslandizationResult,
+    *,
+    add_self_loops: bool,
+) -> InterHubPlan:
+    """Expand the canonical inter-hub edge map into directed tasks."""
+    edges = result.interhub_edges
+    directed: list[tuple[int, int]] = []
+    for u, v in edges.tolist():
+        directed.append((u, v))
+        if u != v:
+            directed.append((v, u))
+    directed_arr = (
+        np.asarray(directed, dtype=np.int64).reshape(-1, 2)
+        if directed
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    self_hubs = (
+        result.hub_ids.copy() if add_self_loops else np.zeros(0, dtype=np.int64)
+    )
+    return InterHubPlan(directed_edges=directed_arr, self_loop_hubs=self_hubs)

@@ -1,0 +1,199 @@
+"""The Island Locator (Algorithm 1): round-based islandization.
+
+Orchestrates the three concurrent tasks of Algorithm 1 — hub detection
+(Th1), BFS task generation (Th2) and TP-BFS execution (Th3) — with the
+paper's per-round synchronisation.  The software model runs the phases
+sequentially inside each round; that is result-equivalent to the
+asynchronous hardware because all three phases share one predicate
+(``degree >= TH_round``) and synchronise at round boundaries.  The
+*work* of each phase is still tracked separately so the hardware cycle
+model can overlap them.
+
+Termination: the threshold decays geometrically to ``th_min``; at
+``th_min = 1`` every remaining node with an edge becomes a hub and
+degree-0 nodes are swept into singleton islands, so the node list
+always empties (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import LocatorConfig
+from repro.core.hub_detector import detect_new_hubs
+from repro.core.tp_bfs import BFSRoundState, TaskOutcome, run_bfs_task
+from repro.core.types import Island, IslandizationResult, LocatorWork, RoundStats
+from repro.errors import IslandizationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["IslandLocator", "islandize"]
+
+_MAX_ROUNDS = 1000  # safety net; real runs finish in < 20 rounds
+
+
+class IslandLocator:
+    """Runtime graph restructuring: find hubs and islands by rounds."""
+
+    def __init__(self, config: LocatorConfig | None = None) -> None:
+        self.config = config or LocatorConfig()
+
+    def run(self, graph: CSRGraph) -> IslandizationResult:
+        """Islandize ``graph`` (which must not contain self-loops).
+
+        Self-loops carry no structural information for clustering and
+        are handled by the consumer's normalisation (the GCN ``A + I``
+        diagonal), so the locator rejects them to keep edge accounting
+        unambiguous.
+        """
+        if graph.has_self_loops():
+            raise IslandizationError(
+                "islandize expects a graph without self-loops; call "
+                "graph.without_self_loops() first"
+            )
+        config = self.config
+        n = graph.num_nodes
+        degrees = graph.degrees.astype(np.int64)
+        classified = np.zeros(n, dtype=bool)
+        is_hub = np.zeros(n, dtype=bool)
+        visited_round = np.zeros(n, dtype=np.int64)
+
+        islands: list[Island] = []
+        hub_ids: list[int] = []
+        hub_rounds: list[int] = []
+        interhub: set[tuple[int, int]] = set()
+        rounds: list[RoundStats] = []
+        engine_load = np.zeros(config.p2, dtype=np.int64)
+
+        total_fetch = 0
+        total_bytes = 0
+        total_detect = 0
+        total_scans = 0
+
+        threshold = config.initial_threshold(degrees)
+        round_id = 1
+        while classified.sum() < n:
+            if round_id > _MAX_ROUNDS:
+                raise IslandizationError(
+                    f"locator failed to converge after {_MAX_ROUNDS} rounds"
+                )
+            detection = detect_new_hubs(degrees, classified, threshold)
+            new_hubs = detection.new_hubs
+            classified[new_hubs] = True
+            is_hub[new_hubs] = True
+            hub_ids.extend(new_hubs.tolist())
+            hub_rounds.extend([round_id] * len(new_hubs))
+            for iso in detection.isolated.tolist():
+                islands.append(
+                    Island(
+                        island_id=len(islands),
+                        round_id=round_id,
+                        members=np.asarray([iso], dtype=np.int64),
+                        hubs=np.zeros(0, dtype=np.int64),
+                    )
+                )
+                classified[iso] = True
+
+            # --- Th2: task generation (reads each new hub's adjacency).
+            tasks: list[tuple[int, int]] = []
+            taskgen_fetches = 0
+            taskgen_bytes = 0
+            for hub in new_hubs.tolist():
+                neighbors = graph.neighbors(hub)
+                taskgen_fetches += 1
+                taskgen_bytes += len(neighbors) * 4
+                tasks.extend((hub, int(a0)) for a0 in neighbors.tolist())
+
+            # --- Th3: TP-BFS over the task queue.
+            state = BFSRoundState.create(
+                graph, degrees, threshold, config.c_max, round_id, visited_round
+            )
+            islands_found = 0
+            nodes_islanded = 0
+            dropped_classified = 0
+            dropped_visited = 0
+            dropped_cmax = 0
+            interhub_found = 0
+            for hub, a0 in tasks:
+                result = run_bfs_task(state, hub, a0)
+                if result.scans:
+                    # Greedy idle-engine dispatch for the P2 work model.
+                    engine = int(np.argmin(engine_load))
+                    engine_load[engine] += result.scans
+                if result.outcome is TaskOutcome.ISLAND:
+                    members = np.asarray(result.members, dtype=np.int64)
+                    islands.append(
+                        Island(
+                            island_id=len(islands),
+                            round_id=round_id,
+                            members=members,
+                            hubs=np.asarray(result.hubs, dtype=np.int64),
+                        )
+                    )
+                    classified[members] = True
+                    islands_found += 1
+                    nodes_islanded += len(members)
+                elif result.outcome is TaskOutcome.SEED_IS_HUB:
+                    edge = (min(hub, a0), max(hub, a0))
+                    if edge not in interhub:
+                        interhub.add(edge)
+                        interhub_found += 1
+                    dropped_classified += 1
+                elif result.outcome is TaskOutcome.ALREADY_VISITED:
+                    dropped_visited += 1
+                else:
+                    dropped_cmax += 1
+
+            rounds.append(
+                RoundStats(
+                    round_id=round_id,
+                    threshold=threshold,
+                    nodes_remaining=int(detection.detect_items),
+                    hubs_found=len(new_hubs),
+                    islands_found=islands_found,
+                    nodes_islanded=nodes_islanded,
+                    tasks_generated=len(tasks),
+                    tasks_dropped_classified=dropped_classified,
+                    tasks_dropped_visited=dropped_visited,
+                    tasks_dropped_cmax=dropped_cmax,
+                    interhub_edges_found=interhub_found,
+                    adjacency_fetches=state.adjacency_fetches + taskgen_fetches,
+                    adjacency_bytes=state.adjacency_bytes + taskgen_bytes,
+                    detect_items=detection.detect_items,
+                )
+            )
+            total_fetch += state.adjacency_fetches + taskgen_fetches
+            total_bytes += state.adjacency_bytes + taskgen_bytes
+            total_detect += detection.detect_items
+            total_scans += state.scans
+
+            threshold = config.next_threshold(threshold)
+            round_id += 1
+
+        interhub_arr = (
+            np.asarray(sorted(interhub), dtype=np.int64).reshape(-1, 2)
+            if interhub
+            else np.zeros((0, 2), dtype=np.int64)
+        )
+        work = LocatorWork(
+            total_adjacency_fetches=total_fetch,
+            total_adjacency_bytes=total_bytes,
+            total_detect_items=total_detect,
+            total_bfs_scans=total_scans,
+            per_engine_scans=engine_load,
+        )
+        return IslandizationResult(
+            graph=graph,
+            islands=islands,
+            hub_ids=np.asarray(hub_ids, dtype=np.int64),
+            hub_round=np.asarray(hub_rounds, dtype=np.int64),
+            interhub_edges=interhub_arr,
+            rounds=rounds,
+            work=work,
+        )
+
+
+def islandize(
+    graph: CSRGraph, config: LocatorConfig | None = None
+) -> IslandizationResult:
+    """Convenience wrapper: run the Island Locator on ``graph``."""
+    return IslandLocator(config).run(graph)

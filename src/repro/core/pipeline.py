@@ -1,0 +1,49 @@
+"""Locator/consumer pipeline overlap (§3.1.1).
+
+"the Processing Elements in the Island Consumer can process an island
+as soon as it is formed ... I-GCN overlaps graph restructuring and
+graph processing."
+
+The consumer is modelled as a single aggregate server whose work
+arrives in per-round batches released when the locator finishes each
+round.  For release times ``L_r`` (cumulative locator cycles through
+round r) and per-round consumer work ``C_r``, the makespan of a
+work-conserving server is::
+
+    makespan = max_r ( L_r + sum_{r' >= r} C_{r'} )
+
+i.e. the last idle-wait start plus everything after it.  This collapses
+to ``sum(C)`` when the locator is never the bottleneck and to
+``L_last + C_last`` when it always is.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["pipelined_makespan"]
+
+
+def pipelined_makespan(
+    release_times: Sequence[float], work_chunks: Sequence[float]
+) -> float:
+    """Makespan of batched work with release times (see module docs).
+
+    ``release_times`` must be non-decreasing and the same length as
+    ``work_chunks``.
+    """
+    if len(release_times) != len(work_chunks):
+        raise ValueError("release_times and work_chunks must align")
+    if not release_times:
+        return 0.0
+    prev = 0.0
+    for t in release_times:
+        if t < prev:
+            raise ValueError("release_times must be non-decreasing")
+        prev = t
+    makespan = 0.0
+    remaining = float(sum(work_chunks))
+    for release, work in zip(release_times, work_chunks):
+        makespan = max(makespan, release + remaining)
+        remaining -= work
+    return makespan

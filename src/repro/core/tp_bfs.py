@@ -1,0 +1,172 @@
+"""TP-BFS: threshold-based parallel breadth-first island search (Alg 4).
+
+One :func:`run_bfs_task` call executes a single engine task: starting
+from a hub's neighbour, expand through non-hub nodes until the frontier
+closes (``query == count`` — an island), the island-size cap trips, or
+the search collides with a region another engine already visited this
+round.
+
+Shared per-round state lives in :class:`BFSRoundState`; stamp arrays
+make membership tests O(1) without reallocating sets every task:
+
+* ``visited_round[u] == round_id``  ⇔  u ∈ v_global this round;
+* ``local_task[u] == task_id``      ⇔  u ∈ v_local of the running task;
+* ``hub_task[u] == task_id``        ⇔  u already recorded in h_local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["BFSRoundState", "TaskOutcome", "BFSTaskResult", "run_bfs_task"]
+
+
+class TaskOutcome(Enum):
+    """Why a TP-BFS task ended (Figure 5's break conditions + success)."""
+
+    ISLAND = "island"              # query == count: island found (Fig 5 C)
+    SEED_IS_HUB = "seed-is-hub"    # task carries an inter-hub edge
+    ALREADY_VISITED = "visited"    # region explored by another engine (Fig 5 A)
+    CMAX_EXCEEDED = "cmax"         # island-size cap tripped (Fig 5 B)
+
+
+@dataclass
+class BFSRoundState:
+    """State shared by all TP-BFS engines within one round."""
+
+    graph: CSRGraph
+    degrees: np.ndarray
+    threshold: int
+    c_max: int
+    round_id: int
+    visited_round: np.ndarray   # int32, stamped with round_id (v_global)
+    local_task: np.ndarray      # int64, stamped with task id (v_local)
+    hub_task: np.ndarray        # int64, stamped with task id (h_local dedup)
+    next_task_id: int = 1
+    adjacency_fetches: int = 0
+    adjacency_bytes: int = 0
+    scans: int = 0
+
+    @staticmethod
+    def create(graph: CSRGraph, degrees: np.ndarray, threshold: int,
+               c_max: int, round_id: int,
+               visited_round: np.ndarray) -> "BFSRoundState":
+        """Fresh per-round state reusing the persistent v_global stamps."""
+        n = graph.num_nodes
+        return BFSRoundState(
+            graph=graph,
+            degrees=degrees,
+            threshold=threshold,
+            c_max=c_max,
+            round_id=round_id,
+            visited_round=visited_round,
+            local_task=np.zeros(n, dtype=np.int64),
+            hub_task=np.zeros(n, dtype=np.int64),
+        )
+
+
+@dataclass
+class BFSTaskResult:
+    """Outcome of one task."""
+
+    outcome: TaskOutcome
+    members: list[int] = field(default_factory=list)
+    hubs: list[int] = field(default_factory=list)
+    scans: int = 0               # neighbour entries examined (engine cycles)
+    fetches: int = 0             # adjacency-list reads issued
+
+
+def run_bfs_task(state: BFSRoundState, seed_hub: int, a0: int) -> BFSTaskResult:
+    """Execute Algorithm 4 for one (hub, neighbour) task.
+
+    Returns the task outcome; on ``ISLAND`` the result carries the
+    member list (BFS discovery order) and the attached hubs
+    (first-contact order, seed hub first).
+    """
+    graph = state.graph
+    degrees = state.degrees
+    threshold = state.threshold
+    round_id = state.round_id
+    task_id = state.next_task_id
+    state.next_task_id += 1
+
+    # The seed itself crossing the threshold means this task encodes an
+    # inter-hub connection, which the Island Collector records.
+    if degrees[a0] >= threshold:
+        return BFSTaskResult(outcome=TaskOutcome.SEED_IS_HUB)
+    if state.visited_round[a0] == round_id:
+        return BFSTaskResult(outcome=TaskOutcome.ALREADY_VISITED)
+
+    members: list[int] = [a0]
+    hubs: list[int] = [seed_hub]
+    state.hub_task[seed_hub] = task_id
+    state.local_task[a0] = task_id
+    state.visited_round[a0] = round_id
+    query = 0
+    count = 1
+    scans = 0
+    fetches = 0
+    indptr = graph.indptr
+    indices = graph.indices
+    visited_round = state.visited_round
+    local_task = state.local_task
+    hub_task = state.hub_task
+
+    aborted: TaskOutcome | None = None
+    while query != count and aborted is None:
+        node = members[query]
+        start, end = indptr[node], indptr[node + 1]
+        fetches += 1
+        state.adjacency_bytes += int(end - start) * 4
+        for n in indices[start:end].tolist():
+            scans += 1
+            if degrees[n] >= threshold:
+                # Hub neighbour: record the island-hub attachment.
+                if hub_task[n] != task_id:
+                    hub_task[n] = task_id
+                    hubs.append(n)
+                continue
+            if local_task[n] == task_id:
+                continue  # already in v_local
+            if visited_round[n] == round_id:
+                # Region already claimed this round.  Algorithm 4 line 19
+                # retracts v_local from v_global so a *concurrent* engine
+                # racing on the same island can win cleanly; in this
+                # sequential model the collision partner is always a
+                # finished exploration — a completed island cannot border
+                # unexplored nodes (closure), so the stamped region is a
+                # c_max-poisoned zone and our partial walk belongs to the
+                # same doomed closure.  Keeping our stamps is therefore
+                # outcome-equivalent and avoids re-walking the zone once
+                # per remaining task (the hardware gets the same effect
+                # from its engines exploring concurrently).
+                aborted = TaskOutcome.ALREADY_VISITED
+                break
+            count += 1
+            members.append(n)
+            local_task[n] = task_id
+            visited_round[n] = round_id
+            if count > state.c_max:
+                # Cap exceeded: drop the task but *leave* the v_global
+                # stamps (paper keeps them so sibling engines skip the
+                # oversized region for the rest of the round).
+                aborted = TaskOutcome.CMAX_EXCEEDED
+                break
+        query += 1
+
+    state.scans += scans
+    state.adjacency_fetches += fetches
+    if aborted is not None:
+        return BFSTaskResult(outcome=aborted, scans=scans, fetches=fetches)
+    return BFSTaskResult(
+        outcome=TaskOutcome.ISLAND,
+        members=members,
+        hubs=hubs,
+        scans=scans,
+        fetches=fetches,
+    )

@@ -1,0 +1,243 @@
+"""Data model of islandization: islands, rounds, and the full result.
+
+Terminology follows the paper (§3.1):
+
+* **hub** — a node whose degree crosses the (decaying) round threshold;
+  hubs are the contact points between islands and show up as L-shapes
+  in the reordered adjacency matrix.
+* **island** — a maximal group of non-hub nodes with internal
+  connections only (their external links all go to hubs); islands are
+  the anti-diagonal blocks.
+* **round** — one iteration of Algorithm 1: hub detection at the
+  current threshold, BFS task generation, and TP-BFS island search, all
+  synchronised at the round boundary, after which the threshold decays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IslandizationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Island", "RoundStats", "LocatorWork", "IslandizationResult"]
+
+
+@dataclass(frozen=True)
+class Island:
+    """One located island.
+
+    ``members`` are in BFS discovery order — the order the Island
+    Consumer uses as the local column layout (so pre-aggregation groups
+    are formed over discovery-adjacent nodes).  ``hubs`` are the hub
+    nodes attached to this island (the L-shape), in first-contact order.
+    """
+
+    island_id: int
+    round_id: int
+    members: np.ndarray
+    hubs: np.ndarray
+
+    def __post_init__(self) -> None:
+        members = np.asarray(self.members, dtype=np.int64)
+        hubs = np.asarray(self.hubs, dtype=np.int64)
+        object.__setattr__(self, "members", members)
+        object.__setattr__(self, "hubs", hubs)
+        if len(members) == 0:
+            raise IslandizationError("an island must have at least one member")
+        if len(np.intersect1d(members, hubs)) != 0:
+            raise IslandizationError("a node cannot be both member and hub")
+
+    @property
+    def num_members(self) -> int:
+        """Number of island nodes."""
+        return len(self.members)
+
+    @property
+    def num_hubs(self) -> int:
+        """Number of attached hubs."""
+        return len(self.hubs)
+
+    @property
+    def local_order(self) -> np.ndarray:
+        """Column/row layout of the island task: hubs first, then members.
+
+        Matches Figure 7, where the hub column leads the bitmap.
+        """
+        return np.concatenate([self.hubs, self.members])
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round locator statistics (drives Figure 9 and the cycle model)."""
+
+    round_id: int
+    threshold: int
+    nodes_remaining: int       # |N| at round start
+    hubs_found: int
+    islands_found: int
+    nodes_islanded: int
+    tasks_generated: int
+    tasks_dropped_classified: int  # seed already hub/islanded (inter-hub source)
+    tasks_dropped_visited: int     # seed/region already visited this round
+    tasks_dropped_cmax: int        # island-size cap exceeded
+    interhub_edges_found: int
+    adjacency_fetches: int         # neighbour-list reads from global memory
+    adjacency_bytes: int
+    detect_items: int              # degree entries swept by the hub detector
+
+
+@dataclass(frozen=True)
+class LocatorWork:
+    """Aggregate locator work, used by the hardware cycle model."""
+
+    total_adjacency_fetches: int
+    total_adjacency_bytes: int
+    total_detect_items: int
+    total_bfs_scans: int          # neighbour entries scanned by TP-BFS engines
+    per_engine_scans: np.ndarray  # work distribution across the P2 engines
+
+
+@dataclass
+class IslandizationResult:
+    """Everything the Island Locator hands to the Island Consumer.
+
+    Invariants (checked by :meth:`validate`):
+
+    * every node is classified exactly once (hub xor exactly one island);
+    * island members have no neighbours outside ``members + hubs``;
+    * every directed edge of the graph is covered exactly once by
+      island tasks (member-member and member-hub entries) plus the
+      inter-hub edge map.
+    """
+
+    graph: CSRGraph
+    islands: list[Island]
+    hub_ids: np.ndarray
+    hub_round: np.ndarray          # round at which each hub_ids[i] was found
+    interhub_edges: np.ndarray     # (E, 2) canonical (min, max) undirected pairs
+    rounds: list[RoundStats]
+    work: LocatorWork
+    _membership: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def num_islands(self) -> int:
+        """Number of islands located."""
+        return len(self.islands)
+
+    @property
+    def num_hubs(self) -> int:
+        """Number of hub nodes."""
+        return len(self.hub_ids)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds until the node list emptied."""
+        return len(self.rounds)
+
+    @property
+    def hub_fraction(self) -> float:
+        """Fraction of nodes classified as hubs."""
+        n = self.graph.num_nodes
+        return self.num_hubs / n if n else 0.0
+
+    def membership(self) -> np.ndarray:
+        """Per-node label: island id, or -1 for hubs (cached)."""
+        if self._membership is None:
+            labels = -np.ones(self.graph.num_nodes, dtype=np.int64)
+            for island in self.islands:
+                labels[island.members] = island.island_id
+            self._membership = labels
+        return self._membership
+
+    def is_hub(self) -> np.ndarray:
+        """Boolean hub mask."""
+        mask = np.zeros(self.graph.num_nodes, dtype=bool)
+        mask[self.hub_ids] = True
+        return mask
+
+    def island_permutation(self) -> np.ndarray:
+        """perm[old] = new: hubs first (by round), islands contiguous.
+
+        This is the layout of the paper's Figure 9: hub L-shapes at the
+        matrix border and islands as dense blocks along the (anti-)
+        diagonal.  Returned in plain diagonal form; spy-plot code may
+        flip an axis to match the paper's anti-diagonal rendering.
+        """
+        order: list[np.ndarray] = []
+        if self.num_hubs:
+            by_round = np.argsort(self.hub_round, kind="stable")
+            order.append(self.hub_ids[by_round])
+        for island in self.islands:
+            order.append(island.members)
+        if order:
+            flat = np.concatenate(order)
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+        perm = np.empty(self.graph.num_nodes, dtype=np.int64)
+        perm[flat] = np.arange(self.graph.num_nodes, dtype=np.int64)
+        return perm
+
+    # ------------------------------------------------------------------
+    # Invariant checks
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`IslandizationError` if any invariant is broken."""
+        n = self.graph.num_nodes
+        seen = np.zeros(n, dtype=np.int64)
+        for island in self.islands:
+            seen[island.members] += 1
+        seen[self.hub_ids] += 1
+        if not np.all(seen == 1):
+            bad = np.flatnonzero(seen != 1)[:5]
+            raise IslandizationError(
+                f"nodes classified {'multiple times' if seen.max() > 1 else 'never'}: "
+                f"{bad.tolist()}"
+            )
+        hub_mask = self.is_hub()
+        labels = self.membership()
+        for island in self.islands:
+            for member in island.members:
+                for neigh in self.graph.neighbors(int(member)):
+                    neigh = int(neigh)
+                    if neigh == member:
+                        continue
+                    if hub_mask[neigh]:
+                        continue
+                    if labels[neigh] != island.island_id:
+                        raise IslandizationError(
+                            f"island {island.island_id}: member {member} has "
+                            f"non-hub external neighbour {neigh}"
+                        )
+        self._validate_edge_coverage()
+
+    def _validate_edge_coverage(self) -> None:
+        """Directed edge count must match islands + inter-hub exactly."""
+        hub_mask = self.is_hub()
+        covered = 0
+        for island in self.islands:
+            member_set = set(island.members.tolist())
+            hub_set = set(island.hubs.tolist())
+            for member in island.members:
+                for neigh in self.graph.neighbors(int(member)):
+                    neigh = int(neigh)
+                    if neigh in member_set:
+                        covered += 1          # member -> member entry
+                    elif neigh in hub_set:
+                        covered += 2          # member->hub and hub->member
+                    elif hub_mask[neigh]:
+                        raise IslandizationError(
+                            f"member {member} touches unattached hub {neigh}"
+                        )
+        # Inter-hub: canonical undirected pairs; self loops impossible here.
+        directed_interhub = 0
+        for u, v in self.interhub_edges:
+            directed_interhub += 1 if u == v else 2
+        total = covered + directed_interhub
+        if total != self.graph.num_edges:
+            raise IslandizationError(
+                f"edge coverage mismatch: covered {total} of "
+                f"{self.graph.num_edges} directed entries"
+            )

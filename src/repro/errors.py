@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad CSR arrays, out-of-range ids)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset name or scale is invalid."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid model or hardware configuration values."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator reaches an inconsistent internal state."""
+
+
+class IslandizationError(SimulationError):
+    """Raised when the island locator violates one of its invariants."""

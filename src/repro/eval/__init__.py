@@ -1,0 +1,38 @@
+"""Evaluation harness: experiment registry, tables, spy plots."""
+
+from repro.eval.experiments import (
+    EVAL_DATASETS,
+    PAPER_FIG10_AGG,
+    PAPER_FIG10_OVERALL,
+    PAPER_TABLE2_LATENCY_US,
+    ExperimentResult,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_table1,
+    experiment_table2,
+)
+from repro.eval.spyplot import density_grid, spy
+from repro.eval.tables import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_fig9",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig12",
+    "experiment_fig13",
+    "experiment_fig14",
+    "EVAL_DATASETS",
+    "PAPER_FIG10_AGG",
+    "PAPER_FIG10_OVERALL",
+    "PAPER_TABLE2_LATENCY_US",
+    "spy",
+    "density_grid",
+    "render_table",
+]

@@ -1,0 +1,57 @@
+"""Minimal ASCII table rendering for benchmark output.
+
+The benchmark harness prints paper-style tables to stdout;
+:func:`render_table` turns a list of row dicts into a fixed-width
+table, with columns ordered by first appearance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts) as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.rjust(w) for cell, w in zip(line, widths)) for line in cells
+    )
+    out = f"{header}\n{rule}\n{body}"
+    if title:
+        out = f"\n=== {title} ===\n{out}"
+    return out

@@ -1,0 +1,41 @@
+"""Graph substrate: CSR storage, builders, generators, datasets, reorderings."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    CommunityProfile,
+    barabasi_albert,
+    erdos_renyi,
+    hub_island_graph,
+    stochastic_block,
+)
+from repro.graph.datasets import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    figure2_graph,
+    figure7_island_graph,
+    load_dataset,
+)
+from repro.graph.stats import GraphStats, connected_components, graph_stats
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "CommunityProfile",
+    "hub_island_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "stochastic_block",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "figure2_graph",
+    "figure7_island_graph",
+    "GraphStats",
+    "graph_stats",
+    "connected_components",
+]

@@ -1,0 +1,312 @@
+"""Compressed sparse row (CSR) graph storage.
+
+The whole simulator operates on :class:`CSRGraph`: an immutable,
+undirected graph stored as a pair of numpy arrays (``indptr``,
+``indices``) in the usual CSR layout.  The adjacency matrix it
+represents is binary and symmetric; per-edge weights used by GCN
+normalisation are *derived* (they factorise per endpoint, see
+``repro.models.reference``), so they are never materialised here.
+
+Design notes
+------------
+* ``indices`` within each row are kept sorted.  Several consumers
+  (bitmap construction, reordering metrics) rely on this for
+  ``searchsorted``-based membership tests.
+* Degrees are the *structural* out-degrees (row lengths).  Because the
+  graph is symmetric this equals the in-degree.
+* Self-loops are permitted (GCN uses ``A + I``); generators add them
+  explicitly when a model requires them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; row ``u`` occupies
+        ``indices[indptr[u]:indptr[u + 1]]``.
+    indices:
+        ``int64`` array of neighbour ids, sorted within each row.
+
+    Notes
+    -----
+    Use :meth:`from_edges` or ``repro.graph.builder.GraphBuilder`` to
+    construct instances; the raw constructor validates its arguments but
+    does not symmetrise or deduplicate.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    name: str = field(default="graph")
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be 1-D arrays")
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise GraphError("indptr must start with 0")
+        if indptr[-1] != len(indices):
+            raise GraphError(
+                f"indptr[-1]={indptr[-1]} does not match len(indices)={len(indices)}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("indices contain out-of-range node ids")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *directed* entries (nnz of the adjacency matrix)."""
+        return len(self.indices)
+
+    @property
+    def nnz(self) -> int:
+        """Alias of :attr:`num_edges`; nnz of the adjacency matrix."""
+        return len(self.indices)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Structural degree of each node (row lengths)."""
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        """Largest node degree (0 for an empty graph)."""
+        if self.num_nodes == 0:
+            return 0
+        return int(self.degrees.max())
+
+    @property
+    def avg_degree(self) -> float:
+        """Mean node degree."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    @property
+    def density(self) -> float:
+        """nnz / n^2, the fill fraction of the adjacency matrix."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / (self.num_nodes**2)
+
+    # ------------------------------------------------------------------
+    # Neighbour access
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node`` (a view, do not mutate)."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed entry (u, v) exists."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return pos < len(row) and row[pos] == v
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every directed entry (u, v) once."""
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u):
+                yield u, int(v)
+
+    # ------------------------------------------------------------------
+    # Structure checks and conversions
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """Check that every entry (u, v) has its mirror (v, u)."""
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        forward = set(zip(rows.tolist(), self.indices.tolist()))
+        return all((v, u) in forward for u, v in forward)
+
+    def has_self_loops(self) -> bool:
+        """True if any diagonal entry is present."""
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        return bool(np.any(rows == self.indices))
+
+    def with_self_loops(self) -> "CSRGraph":
+        """Return a copy with the diagonal filled in (idempotent)."""
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        mask_missing = np.ones(self.num_nodes, dtype=bool)
+        mask_missing[self.indices[rows == self.indices]] = False
+        extra = np.flatnonzero(mask_missing)
+        if len(extra) == 0:
+            return self
+        new_rows = np.concatenate([rows, extra])
+        new_cols = np.concatenate([self.indices, extra])
+        return CSRGraph.from_edges(
+            self.num_nodes,
+            new_rows,
+            new_cols,
+            name=self.name,
+            symmetrize=False,
+        )
+
+    def without_self_loops(self) -> "CSRGraph":
+        """Return a copy with the diagonal removed (idempotent)."""
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        keep = rows != self.indices
+        return CSRGraph.from_edges(
+            self.num_nodes, rows[keep], self.indices[keep], name=self.name,
+            symmetrize=False,
+        )
+
+    def permute(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel nodes: new id of old node ``u`` is ``perm[u]``.
+
+        ``perm`` must be a permutation of ``range(num_nodes)``.  Used by
+        the reordering baselines to materialise a reordered graph.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.num_nodes,):
+            raise GraphError("perm has wrong length")
+        check = np.zeros(self.num_nodes, dtype=bool)
+        check[perm] = True
+        if not check.all():
+            raise GraphError("perm is not a permutation")
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        return CSRGraph.from_edges(
+            self.num_nodes, perm[rows], perm[self.indices], name=self.name,
+            symmetrize=False,
+        )
+
+    def subgraph(self, nodes: np.ndarray) -> "CSRGraph":
+        """Induced subgraph on ``nodes`` (relabelled 0..len(nodes)-1)."""
+        nodes = np.asarray(sorted(set(np.asarray(nodes, dtype=np.int64).tolist())))
+        relabel = -np.ones(self.num_nodes, dtype=np.int64)
+        relabel[nodes] = np.arange(len(nodes))
+        rows_out: list[int] = []
+        cols_out: list[int] = []
+        for new_u, u in enumerate(nodes):
+            for v in self.neighbors(int(u)):
+                nv = relabel[v]
+                if nv >= 0:
+                    rows_out.append(new_u)
+                    cols_out.append(int(nv))
+        return CSRGraph.from_edges(
+            len(nodes),
+            np.asarray(rows_out, dtype=np.int64),
+            np.asarray(cols_out, dtype=np.int64),
+            name=f"{self.name}-sub",
+            symmetrize=False,
+        )
+
+    def to_scipy(self):
+        """Return the adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self.num_edges, dtype=np.float64)
+        return csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 adjacency matrix (small graphs only)."""
+        dense = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        dense[rows, self.indices] = 1.0
+        return dense
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        num_nodes: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        *,
+        name: str = "graph",
+        symmetrize: bool = True,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel (row, col) arrays.
+
+        Duplicate entries are removed.  When ``symmetrize`` is true the
+        mirror of every edge is added, making the adjacency symmetric.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        if rows.shape != cols.shape:
+            raise GraphError("rows and cols must have the same length")
+        if num_nodes < 0:
+            raise GraphError("num_nodes must be non-negative")
+        if len(rows) and (
+            rows.min() < 0 or cols.min() < 0
+            or rows.max() >= num_nodes or cols.max() >= num_nodes
+        ):
+            raise GraphError("edge endpoints out of range")
+        if symmetrize and len(rows):
+            rows, cols = (
+                np.concatenate([rows, cols]),
+                np.concatenate([cols, rows]),
+            )
+        if len(rows):
+            # Deduplicate via a flat key sort; stable and allocation-light.
+            keys = rows * num_nodes + cols
+            keys = np.unique(keys)
+            rows = keys // num_nodes
+            cols = keys % num_nodes
+        counts = np.bincount(rows, minlength=num_nodes) if num_nodes else np.zeros(0, np.int64)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(indptr=indptr, indices=cols, name=name)
+
+    @staticmethod
+    def from_scipy(mat, *, name: str = "graph") -> "CSRGraph":
+        """Build from any scipy sparse matrix (pattern only)."""
+        csr = mat.tocsr()
+        csr.sort_indices()
+        return CSRGraph(
+            indptr=np.asarray(csr.indptr, dtype=np.int64),
+            indices=np.asarray(csr.indices, dtype=np.int64),
+            name=name,
+        )
+
+    @staticmethod
+    def empty(num_nodes: int, *, name: str = "empty") -> "CSRGraph":
+        """A graph with ``num_nodes`` nodes and no edges."""
+        return CSRGraph(
+            indptr=np.zeros(num_nodes + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            name=name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"nnz={self.num_edges})"
+        )

@@ -1,0 +1,349 @@
+"""Dataset registry with the paper's five evaluation graphs.
+
+The paper evaluates on Cora (CR), Citeseer (CS), Pubmed (PM), NELL (NE)
+and Reddit (RD).  Those datasets are not shippable offline, so each
+entry here pairs the *published* statistics (node/edge/feature/class
+counts, feature density) with a :class:`CommunityProfile` tuned so the
+generated surrogate reproduces the structural character that matters to
+I-GCN: degree skew, sparsity, and strength of the hub-and-island
+community structure (strong for the citation graphs and NELL, weak for
+Reddit — the paper's §4.6.2 explicitly calls out Reddit's "less
+significant component structures").
+
+Use :func:`load_dataset`::
+
+    ds = load_dataset("cora")
+    ds.graph          # CSRGraph surrogate
+    ds.num_features   # 1433 (published)
+
+The ``scale`` parameter shrinks node count (and, for Reddit, degree)
+while preserving intensive properties; see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import CommunityProfile, hub_island_graph
+
+__all__ = [
+    "DatasetSpec",
+    "Dataset",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "figure2_graph",
+    "figure7_island_graph",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics + surrogate-generator profile for one dataset."""
+
+    name: str
+    full_nodes: int
+    full_nnz: int  # directed adjacency entries, no self-loops
+    num_features: int
+    num_classes: int
+    feature_density: float
+    profile: CommunityProfile
+    default_scale: float = 1.0
+    degree_follows_scale: bool = False  # Reddit: shrink degree with scale too
+    description: str = ""
+
+    @property
+    def full_avg_degree(self) -> float:
+        """Directed entries per node in the published graph."""
+        return self.full_nnz / self.full_nodes
+
+
+# Profiles are calibrated (see tests/test_datasets.py) so that surrogate
+# average degree is within ~25 % of the published value and islandization
+# pruning lands in the paper's per-dataset band (Fig 10).
+DATASETS: dict[str, DatasetSpec] = {
+    "cora": DatasetSpec(
+        name="cora",
+        full_nodes=2708,
+        full_nnz=10556,
+        num_features=1433,
+        num_classes=7,
+        feature_density=0.0127,
+        profile=CommunityProfile(
+            hub_fraction=0.035,
+            island_size_mean=5.0,
+            island_size_min=3,
+            island_size_max=16,
+            island_density=0.88,
+            hub_attach_prob=0.85,
+            hubs_per_island=2,
+            background_fraction=0.03,
+            hub_popularity_exponent=0.55,
+            interhub_avg_degree=1.5,
+        ),
+        description="citation network; strong community structure",
+    ),
+    "citeseer": DatasetSpec(
+        name="citeseer",
+        full_nodes=3327,
+        full_nnz=9104,
+        num_features=3703,
+        num_classes=6,
+        feature_density=0.0085,
+        profile=CommunityProfile(
+            hub_fraction=0.03,
+            island_size_mean=5.0,
+            island_size_min=3,
+            island_size_max=12,
+            island_density=0.90,
+            hub_attach_prob=0.75,
+            hubs_per_island=2,
+            background_fraction=0.02,
+            hub_popularity_exponent=0.55,
+            interhub_avg_degree=1.2,
+        ),
+        description="citation network; sparser than Cora, strong communities",
+    ),
+    "pubmed": DatasetSpec(
+        name="pubmed",
+        full_nodes=19717,
+        full_nnz=88648,
+        num_features=500,
+        num_classes=3,
+        feature_density=0.10,
+        profile=CommunityProfile(
+            hub_fraction=0.02,
+            island_size_mean=5.0,
+            island_size_min=3,
+            island_size_max=16,
+            island_density=0.85,
+            hub_attach_prob=0.75,
+            hubs_per_island=2,
+            background_fraction=0.10,
+            background_hub_bias=0.95,
+            hub_popularity_exponent=0.5,
+            interhub_avg_degree=2.0,
+        ),
+        description="citation network; larger, moderate communities",
+    ),
+    "nell": DatasetSpec(
+        name="nell",
+        full_nodes=65755,
+        full_nnz=266144,
+        num_features=5414,
+        num_classes=210,
+        feature_density=0.00024,
+        profile=CommunityProfile(
+            hub_fraction=0.02,
+            island_size_mean=6.5,
+            island_size_min=3,
+            island_size_max=18,
+            island_density=0.95,
+            hub_attach_prob=0.85,
+            hubs_per_island=1,
+            background_fraction=0.01,
+            hub_popularity_exponent=0.55,
+            interhub_avg_degree=1.2,
+        ),
+        default_scale=0.25,
+        description=(
+            "knowledge graph; extremely sparse with the most pronounced "
+            "component structure (paper: islandization helps most here)"
+        ),
+    ),
+    "reddit": DatasetSpec(
+        name="reddit",
+        full_nodes=232965,
+        full_nnz=114615892,
+        num_features=602,
+        num_classes=41,
+        feature_density=1.0,
+        profile=CommunityProfile(
+            hub_fraction=0.05,
+            island_size_mean=10.0,
+            island_size_min=4,
+            island_size_max=32,
+            island_density=0.70,
+            hub_attach_prob=0.90,
+            hubs_per_island=4,
+            background_fraction=0.30,
+            background_hub_bias=0.995,
+            hub_popularity_exponent=0.5,
+            interhub_avg_degree=8.0,
+        ),
+        default_scale=0.03,
+        degree_follows_scale=True,
+        description=(
+            "social network; huge and dense with weak community structure "
+            "(paper: smallest islandization benefit)"
+        ),
+    ),
+}
+
+
+@dataclass
+class Dataset:
+    """A loaded (surrogate) dataset.
+
+    ``features``/``labels`` are populated only when requested via
+    ``load_dataset(..., with_features=True)``; performance-mode
+    simulations need only the graph and the feature *statistics*.
+    """
+
+    spec: DatasetSpec
+    graph: CSRGraph
+    scale: float
+    community: np.ndarray = field(repr=False)
+    features: object | None = field(default=None, repr=False)  # scipy csr
+    labels: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """Dataset name (e.g. ``"cora"``)."""
+        return self.spec.name
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the loaded (possibly scaled) graph."""
+        return self.graph.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        """Published input feature width (not scaled)."""
+        return self.spec.num_features
+
+    @property
+    def num_classes(self) -> int:
+        """Published class count."""
+        return self.spec.num_classes
+
+    @property
+    def feature_density(self) -> float:
+        """Published nnz fraction of the input feature matrix."""
+        return self.spec.feature_density
+
+    @property
+    def feature_nnz(self) -> int:
+        """nnz of the (estimated or materialised) feature matrix."""
+        if self.features is not None:
+            return int(self.features.nnz)
+        return int(round(self.num_nodes * self.num_features * self.feature_density))
+
+    def materialize_features(self, *, seed: int = 0) -> None:
+        """Generate the sparse feature matrix and structure-correlated labels.
+
+        Features are Bernoulli(density) sparse rows (matching the bag-of-
+        words character of the citation datasets); labels follow island
+        membership with a little noise, so they correlate with structure
+        the way real labels do.
+        """
+        from scipy.sparse import random as sparse_random
+
+        rng = np.random.default_rng(seed)
+        self.features = sparse_random(
+            self.num_nodes,
+            self.num_features,
+            density=min(1.0, self.feature_density),
+            format="csr",
+            dtype=np.float64,
+            random_state=np.random.RandomState(seed),
+            data_rvs=lambda size: np.ones(size),
+        )
+        labels = np.where(
+            self.community >= 0,
+            self.community % self.num_classes,
+            rng.integers(0, self.num_classes, size=self.num_nodes),
+        )
+        noise = rng.random(self.num_nodes) < 0.05
+        labels[noise] = rng.integers(0, self.num_classes, size=int(noise.sum()))
+        self.labels = labels.astype(np.int64)
+
+
+def dataset_names() -> list[str]:
+    """Names of the registered datasets, in the paper's order."""
+    return list(DATASETS)
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float | None = None,
+    seed: int = 7,
+    with_features: bool = False,
+) -> Dataset:
+    """Load (generate) one of the paper's datasets.
+
+    Parameters
+    ----------
+    name:
+        One of ``cora``, ``citeseer``, ``pubmed``, ``nell``, ``reddit``
+        (case-insensitive; the paper's two-letter codes also work).
+    scale:
+        Node-count multiplier; ``None`` uses the per-dataset default.
+    seed:
+        Generator seed (graphs are deterministic per (name, scale, seed)).
+    with_features:
+        Also materialise the sparse feature matrix and labels.
+    """
+    key = name.strip().lower()
+    aliases = {"cr": "cora", "cs": "citeseer", "pm": "pubmed", "ne": "nell", "rd": "reddit"}
+    key = aliases.get(key, key)
+    if key not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    spec = DATASETS[key]
+    if scale is None:
+        scale = spec.default_scale
+    if not 0.0 < scale <= 1.0:
+        raise DatasetError("scale must be in (0, 1]")
+    num_nodes = max(64, int(round(spec.full_nodes * scale)))
+    graph, community = hub_island_graph(
+        num_nodes, spec.profile, seed=seed, name=key
+    )
+    ds = Dataset(spec=spec, graph=graph, scale=scale, community=community)
+    if with_features:
+        ds.materialize_features(seed=seed)
+    return ds
+
+
+def figure2_graph() -> CSRGraph:
+    """The 6-node example graph of the paper's Figure 2.
+
+    Edges (1-indexed in the figure): 1-2, 1-6, 2-6, 2-4, 3-4, 3-5, 4-5,
+    5-6.  Returned 0-indexed.
+    """
+    return (
+        GraphBuilder(6, name="figure2")
+        .add_edges([(0, 1), (0, 5), (1, 5), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5)])
+        .build()
+    )
+
+
+def figure7_island_graph() -> tuple[CSRGraph, list[int], list[int]]:
+    """The motivational island of the paper's Figure 7.
+
+    Seven island nodes a..g (ids 0..6) plus one hub H (id 7).  Nodes
+    d, e, f, g are the shared neighbours of b and c, which is the
+    redundancy-removal showcase.  Returns (graph, island_node_ids,
+    hub_ids).
+    """
+    a, b, c, d, e, f, g, hub = range(8)
+    graph = (
+        GraphBuilder(8, name="figure7")
+        .add_edges(
+            [
+                (a, b), (a, c),
+                (b, d), (b, e), (b, f), (b, g),
+                (c, d), (c, e), (c, f), (c, g),
+                (hub, a), (hub, b), (hub, c),
+            ]
+        )
+        .build()
+    )
+    return graph, [a, b, c, d, e, f, g], [hub]

@@ -1,0 +1,51 @@
+"""Lightweight graph reordering baselines (paper §4.5) and metrics."""
+
+from repro.graph.reorder.base import (
+    Reordering,
+    ReorderResult,
+    get_reordering,
+    reordering_names,
+)
+from repro.graph.reorder.degree import (
+    HubClusterReordering,
+    HubSortReordering,
+    SortReordering,
+)
+from repro.graph.reorder.dbg import (
+    DBGHubClusterReordering,
+    DBGHubSortReordering,
+    DBGReordering,
+)
+from repro.graph.reorder.rabbit import RabbitReordering
+from repro.graph.reorder.rcm import RCMReordering
+from repro.graph.reorder.metrics import (
+    LocalityReport,
+    average_index_distance,
+    bandwidth,
+    locality_report,
+    outlier_fraction,
+    tile_coverage,
+    working_set_score,
+)
+
+__all__ = [
+    "Reordering",
+    "ReorderResult",
+    "get_reordering",
+    "reordering_names",
+    "SortReordering",
+    "HubSortReordering",
+    "HubClusterReordering",
+    "DBGReordering",
+    "DBGHubSortReordering",
+    "DBGHubClusterReordering",
+    "RabbitReordering",
+    "RCMReordering",
+    "LocalityReport",
+    "locality_report",
+    "average_index_distance",
+    "bandwidth",
+    "tile_coverage",
+    "outlier_fraction",
+    "working_set_score",
+]

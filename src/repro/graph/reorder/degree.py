@@ -1,0 +1,83 @@
+"""Degree-driven lightweight reorderings: sort, hubsort, hubcluster.
+
+These follow the taxonomy of Balaji & Lucia (IISWC'18) and Faldu et al.
+(IISWC'19), the papers behind the six baselines in I-GCN §4.5:
+
+* **sort** — full descending-degree sort (included for completeness;
+  not one of the paper's six but useful as a reference point).
+* **hubsort** — only *hot* nodes (degree above average) are sorted by
+  degree and packed first; cold nodes keep their original relative
+  order.  Preserves most of the original layout's locality while giving
+  hubs dense ids.
+* **hubcluster** — hot nodes are packed first but *not* sorted among
+  themselves; the cheapest hub-isolating reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reorder.base import Reordering, register
+
+__all__ = ["SortReordering", "HubSortReordering", "HubClusterReordering", "hot_mask"]
+
+
+def hot_mask(graph: CSRGraph) -> np.ndarray:
+    """Boolean mask of *hot* nodes: degree strictly above the mean.
+
+    The average-degree threshold is the standard hot/cold split used by
+    the hub-based lightweight reorderings.
+    """
+    degrees = graph.degrees
+    if len(degrees) == 0:
+        return np.zeros(0, dtype=bool)
+    return degrees > degrees.mean()
+
+
+def _pack(first: np.ndarray, second: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Build perm[old]=new placing ``first`` then ``second``."""
+    order = np.concatenate([first, second])
+    perm = np.empty(num_nodes, dtype=np.int64)
+    perm[order] = np.arange(num_nodes, dtype=np.int64)
+    return perm
+
+
+@register
+class SortReordering(Reordering):
+    """Full descending-degree sort (stable)."""
+
+    name = "sort"
+
+    def compute(self, graph: CSRGraph) -> np.ndarray:
+        order = np.argsort(-graph.degrees, kind="stable")
+        perm = np.empty(graph.num_nodes, dtype=np.int64)
+        perm[order] = np.arange(graph.num_nodes, dtype=np.int64)
+        return perm
+
+
+@register
+class HubSortReordering(Reordering):
+    """Sort hot nodes by degree; preserve cold node order."""
+
+    name = "hubsort"
+
+    def compute(self, graph: CSRGraph) -> np.ndarray:
+        hot = hot_mask(graph)
+        hot_ids = np.flatnonzero(hot)
+        cold_ids = np.flatnonzero(~hot)
+        hot_sorted = hot_ids[np.argsort(-graph.degrees[hot_ids], kind="stable")]
+        return _pack(hot_sorted, cold_ids, graph.num_nodes)
+
+
+@register
+class HubClusterReordering(Reordering):
+    """Pack hot nodes first without sorting them."""
+
+    name = "hubcluster"
+
+    def compute(self, graph: CSRGraph) -> np.ndarray:
+        hot = hot_mask(graph)
+        return _pack(
+            np.flatnonzero(hot), np.flatnonzero(~hot), graph.num_nodes
+        )

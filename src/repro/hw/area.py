@@ -1,0 +1,83 @@
+"""Area model: Figure 11's ALM-normalised resource breakdown.
+
+The paper normalises LUTs/FFs/DSPs to Adaptive Logic Modules (ALMs) and
+reports the breakdown of an I-GCN instance with 4K MACs and 64 TP-BFS
+engines: Island Locator ≈ 34 %, Island Consumer ≈ 66 %.
+
+Per-unit ALM costs below are budget figures chosen to (a) land the
+published 34/66 split at the published instance size and (b) sum to a
+design that fits a Stratix 10 SX (~933 k ALMs) — the same kind of
+engineering estimate the paper's own normalisation performs.  The value
+of the model is that the split *shifts correctly* when the instance is
+resized (more BFS engines grow the locator share, more MACs grow the
+consumer share), which the ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AreaBreakdown", "AreaModel"]
+
+# Per-unit ALM costs (budget estimates; see module docstring).
+ALM_PER_MAC = 110               # fp32 MAC datapath, DSP normalised to ALMs
+ALM_PER_BFS_ENGINE = 4200       # FSM + LVT + bitmap buffer
+ALM_PER_DEGREE_FIFO = 2000      # loop-back FIFO + island filter + comparator
+ALM_TASK_GENERATOR = 12000      # adjacency fetcher + task queues
+ALM_LOCATOR_MISC = 9000         # PR/CR island tables, control
+ALM_PER_PE_CONTROL = 5000       # scan window FSMs, CASE/scheduler
+ALM_HUB_CACHES = 60000          # HUB XW cache + DHUB-PRC banks
+ALM_RING_COLLECTOR = 40000      # ring switches + island collector
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """ALM usage per module."""
+
+    modules: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """Total ALMs."""
+        return sum(self.modules.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Module shares of the total."""
+        total = self.total
+        return {name: alm / total for name, alm in self.modules.items()}
+
+    @property
+    def locator_fraction(self) -> float:
+        """Island Locator share (paper: ~34 %)."""
+        locator = ("hub_detector", "task_generator", "tp_bfs_engines", "locator_misc")
+        return sum(self.modules.get(m, 0) for m in locator) / self.total
+
+    @property
+    def consumer_fraction(self) -> float:
+        """Island Consumer share (paper: ~66 %)."""
+        return 1.0 - self.locator_fraction
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Compose an ALM breakdown from an instance's dimensions."""
+
+    num_macs: int = 4096
+    num_bfs_engines: int = 64
+    num_degree_fifos: int = 8
+    num_pes: int = 8
+
+    def breakdown(self) -> AreaBreakdown:
+        """ALMs per module for this instance."""
+        return AreaBreakdown(
+            modules={
+                "hub_detector": self.num_degree_fifos * ALM_PER_DEGREE_FIFO,
+                "task_generator": ALM_TASK_GENERATOR,
+                "tp_bfs_engines": self.num_bfs_engines * ALM_PER_BFS_ENGINE,
+                "locator_misc": ALM_LOCATOR_MISC,
+                "mac_array": self.num_macs * ALM_PER_MAC,
+                "pe_control": self.num_pes * ALM_PER_PE_CONTROL,
+                "hub_caches": ALM_HUB_CACHES,
+                "ring_collector": ALM_RING_COLLECTOR,
+            }
+        )

@@ -1,0 +1,82 @@
+"""Analytic cycle/latency model.
+
+The latency of a phase is the slower of its compute and memory streams
+(the paper's architectures all double-buffer DRAM transfers behind the
+MAC pipeline), plus explicit serial overheads:
+
+``cycles = max(macs / (num_macs * util), bytes / bytes_per_cycle) + overhead``
+
+For I-GCN the Island Locator runs concurrently with the Island Consumer
+(§3.1: "I-GCN overlaps graph restructuring and graph processing"), so
+its cycles only matter if the locator is the slower pipe — which the
+model captures with a ``max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HardwareConfig
+
+__all__ = ["PhaseCycles", "LatencyModel", "compute_cycles", "memory_cycles"]
+
+
+def compute_cycles(macs: float, hw: HardwareConfig, *, utilization: float | None = None) -> float:
+    """Cycles to retire ``macs`` multiply-accumulates."""
+    util = hw.compute_utilization if utilization is None else utilization
+    return macs / (hw.num_macs * util)
+
+
+def memory_cycles(num_bytes: float, hw: HardwareConfig) -> float:
+    """Cycles to stream ``num_bytes`` at full off-chip bandwidth."""
+    return num_bytes / hw.bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class PhaseCycles:
+    """Cycle breakdown of one pipeline phase."""
+
+    name: str
+    compute: float
+    memory: float
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """max(compute, memory) + overhead: double-buffered phase time."""
+        return max(self.compute, self.memory) + self.overhead
+
+    @property
+    def bound(self) -> str:
+        """Which stream dominates this phase."""
+        return "compute" if self.compute >= self.memory else "memory"
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Combine phases into an end-to-end latency."""
+
+    hw: HardwareConfig
+
+    def phase(self, name: str, *, macs: float = 0.0, dram_bytes: float = 0.0,
+              overhead_cycles: float = 0.0,
+              utilization: float | None = None) -> PhaseCycles:
+        """Build one phase from op and byte counts."""
+        return PhaseCycles(
+            name=name,
+            compute=compute_cycles(macs, self.hw, utilization=utilization),
+            memory=memory_cycles(dram_bytes, self.hw),
+            overhead=overhead_cycles,
+        )
+
+    def overlapped(self, *phases: PhaseCycles) -> float:
+        """Cycles of fully concurrent phases: the slowest one wins."""
+        return max((p.total for p in phases), default=0.0)
+
+    def sequential(self, *phases: PhaseCycles) -> float:
+        """Cycles of strictly serial phases."""
+        return sum(p.total for p in phases)
+
+    def to_microseconds(self, cycles: float) -> float:
+        """Convert cycles to microseconds at the configured frequency."""
+        return self.hw.cycles_to_us(cycles)

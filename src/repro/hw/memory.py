@@ -1,0 +1,149 @@
+"""Off-chip traffic accounting and on-chip buffer models.
+
+:class:`TrafficMeter` is the ledger every simulator writes its DRAM
+accesses into, broken down by traffic class so Figure 14(A)'s
+normalised off-chip access comparison can be regenerated and explained.
+The paper's counting convention (§4.6.1) applies: adjacency and input
+features start off-chip; anything served from an on-chip structure is
+free once loaded.
+
+:class:`CacheModel` is a deliberately simple capacity/miss-ratio model
+(no timing): when a working set exceeds its capacity, the excess
+fraction of accesses spills to DRAM.  That is the granularity at which
+the paper itself reasons ("hubs' associated data will likely be stored
+on-chip and sufficiently reused").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficMeter", "CacheModel", "effective_offchip_bytes"]
+
+#: Read-mostly traffic classes eligible for on-chip residence in the
+#: latency model (the paper's §4.6.1 practical configuration).
+#: ``hidden-results``/``intermediate`` are inter-layer tensors that stay
+#: on-chip when they fit — only final results must stream out.
+RESIDENT_CATEGORIES = (
+    "features",
+    "adjacency",
+    "weights",
+    "hidden-results",
+    "intermediate",
+)
+
+
+def effective_offchip_bytes(
+    meter: "TrafficMeter",
+    capacity_bytes: int,
+    *,
+    resident_categories: tuple[str, ...] = RESIDENT_CATEGORIES,
+) -> int:
+    """Bytes that must actually cross the DRAM pins for latency purposes.
+
+    Up to ``capacity_bytes`` of the resident-eligible categories stay
+    on-chip; everything else (final result writes, spills) always pays
+    bandwidth.
+    """
+    resident = sum(
+        meter.reads.get(cat, 0) + meter.writes.get(cat, 0)
+        for cat in resident_categories
+    )
+    discount = min(capacity_bytes, resident)
+    return max(0, meter.total_bytes - discount)
+
+
+@dataclass
+class TrafficMeter:
+    """Byte ledger for one simulated inference."""
+
+    reads: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+
+    def read(self, category: str, num_bytes: int) -> None:
+        """Record ``num_bytes`` read from DRAM under ``category``."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.reads[category] = self.reads.get(category, 0) + int(num_bytes)
+
+    def write(self, category: str, num_bytes: int) -> None:
+        """Record ``num_bytes`` written to DRAM under ``category``."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.writes[category] = self.writes.get(category, 0) + int(num_bytes)
+
+    @property
+    def total_read_bytes(self) -> int:
+        """All DRAM reads."""
+        return sum(self.reads.values())
+
+    @property
+    def total_write_bytes(self) -> int:
+        """All DRAM writes."""
+        return sum(self.writes.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All DRAM traffic."""
+        return self.total_read_bytes + self.total_write_bytes
+
+    def breakdown(self) -> dict[str, int]:
+        """Read+write bytes per category (sorted descending)."""
+        merged: dict[str, int] = {}
+        for src in (self.reads, self.writes):
+            for key, val in src.items():
+                merged[key] = merged.get(key, 0) + val
+        return dict(sorted(merged.items(), key=lambda kv: -kv[1]))
+
+    def merge(self, other: "TrafficMeter") -> None:
+        """Fold another meter's counts into this one."""
+        for key, val in other.reads.items():
+            self.reads[key] = self.reads.get(key, 0) + val
+        for key, val in other.writes.items():
+            self.writes[key] = self.writes.get(key, 0) + val
+
+
+@dataclass
+class CacheModel:
+    """Capacity/miss-fraction cache model.
+
+    ``miss_ratio`` is 0 while the resident set fits, then grows as the
+    uncovered fraction of the resident set — the steady-state hit rate
+    of a uniformly reused working set under any stack-replacement
+    policy.
+    """
+
+    name: str
+    capacity_bytes: int
+    resident_bytes: int = 0
+    accesses: int = 0
+    misses: float = 0.0
+
+    def fit(self, resident_bytes: int) -> None:
+        """Declare the resident working set size."""
+        if resident_bytes < 0:
+            raise ValueError("resident set must be non-negative")
+        self.resident_bytes = int(resident_bytes)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses expected to spill to DRAM."""
+        if self.resident_bytes <= self.capacity_bytes or self.resident_bytes == 0:
+            return 0.0
+        return 1.0 - self.capacity_bytes / self.resident_bytes
+
+    def access(self, count: int = 1, *, bytes_per_access: int = 0,
+               meter: TrafficMeter | None = None, category: str = "") -> float:
+        """Record ``count`` accesses; returns DRAM bytes incurred.
+
+        When a meter is supplied the spilled bytes are charged to it.
+        """
+        if count < 0:
+            raise ValueError("access count must be non-negative")
+        self.accesses += count
+        missed = count * self.miss_ratio
+        self.misses += missed
+        spilled = int(round(missed * bytes_per_access))
+        if meter is not None and spilled > 0:
+            meter.read(category or self.name, spilled)
+        return float(spilled)

@@ -1,0 +1,88 @@
+"""Shared fixtures: small deterministic graphs, datasets, and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    GraphBuilder,
+    figure2_graph,
+    figure7_island_graph,
+    hub_island_graph,
+    load_dataset,
+)
+from repro.graph.generators import CommunityProfile
+from repro.models import gcn_model
+
+
+@pytest.fixture
+def fig2():
+    """The 6-node graph of the paper's Figure 2."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig7():
+    """(graph, island node ids, hub ids) of the paper's Figure 7."""
+    return figure7_island_graph()
+
+
+@pytest.fixture
+def triangle():
+    """Smallest clique."""
+    return GraphBuilder(3).add_clique([0, 1, 2]).build()
+
+
+@pytest.fixture
+def star():
+    """Hub with five leaves."""
+    return GraphBuilder(6).add_star(0, range(1, 6)).build()
+
+
+@pytest.fixture
+def path4():
+    """A 4-node path."""
+    return GraphBuilder(4).add_path([0, 1, 2, 3]).build()
+
+
+@pytest.fixture
+def empty_graph():
+    """Five isolated nodes."""
+    return CSRGraph.empty(5)
+
+
+@pytest.fixture
+def community_graph():
+    """A ~300-node hub-and-island graph with known structure."""
+    graph, labels = hub_island_graph(
+        300,
+        CommunityProfile(
+            hub_fraction=0.04,
+            island_size_mean=6.0,
+            island_density=0.8,
+            hub_attach_prob=0.7,
+            background_fraction=0.02,
+        ),
+        seed=11,
+    )
+    return graph, labels
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    """Cora surrogate at 10% scale with features (for functional runs)."""
+    return load_dataset("cora", scale=0.1, with_features=True, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_cora_model(tiny_cora):
+    """2-layer GCN matching the tiny cora dims."""
+    return gcn_model(tiny_cora.num_features, tiny_cora.num_classes)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for ad-hoc randomness in tests."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,172 @@
+"""Unit tests for the top-level I-GCN accelerator and pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
+from repro.core.pipeline import pipelined_makespan
+from repro.errors import SimulationError
+from repro.models import (
+    gcn_model,
+    gin_model,
+    graphsage_model,
+    init_weights,
+    reference_forward,
+)
+
+
+class TestPipelineMakespan:
+    def test_consumer_bound(self):
+        # Work released early: makespan = total work.
+        assert pipelined_makespan([0.0, 1.0], [10.0, 10.0]) == 20.0
+
+    def test_locator_bound(self):
+        # Work released late: makespan = last release + its work.
+        assert pipelined_makespan([100.0, 200.0], [1.0, 1.0]) == 201.0
+
+    def test_empty(self):
+        assert pipelined_makespan([], []) == 0.0
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            pipelined_makespan([0.0], [1.0, 2.0])
+
+    def test_rejects_decreasing_releases(self):
+        with pytest.raises(ValueError):
+            pipelined_makespan([5.0, 1.0], [1.0, 1.0])
+
+    def test_mixed_case(self):
+        # Release 0: 5 work; release 8: 2 work -> max(0+7, 8+2) = 10.
+        assert pipelined_makespan([0.0, 8.0], [5.0, 2.0]) == 10.0
+
+
+class TestFunctionalEquivalence:
+    """The islandized schedule must be numerically lossless."""
+
+    @pytest.mark.parametrize("family,kwargs", [
+        ("gcn", {}),
+        ("sage", {}),
+        ("gin", {}),
+    ])
+    def test_matches_reference(self, tiny_cora, family, kwargs):
+        builders = {
+            "gcn": gcn_model,
+            "sage": graphsage_model,
+            "gin": gin_model,
+        }
+        model = builders[family](tiny_cora.num_features, tiny_cora.num_classes)
+        weights = init_weights(model, seed=9)
+        acc = IGCNAccelerator()
+        report = acc.run(
+            tiny_cora.graph, model,
+            features=tiny_cora.features, weights=weights, functional=True,
+            feature_density=tiny_cora.feature_density,
+        )
+        reference = reference_forward(
+            tiny_cora.graph.without_self_loops(), model,
+            tiny_cora.features, weights,
+        )
+        assert np.allclose(report.outputs, reference, atol=1e-9)
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_lossless_for_any_k(self, tiny_cora, k):
+        model = gcn_model(tiny_cora.num_features, tiny_cora.num_classes)
+        weights = init_weights(model, seed=2)
+        acc = IGCNAccelerator(consumer=ConsumerConfig(preagg_k=k))
+        report = acc.run(
+            tiny_cora.graph, model,
+            features=tiny_cora.features, weights=weights, functional=True,
+            feature_density=tiny_cora.feature_density,
+        )
+        reference = reference_forward(
+            tiny_cora.graph.without_self_loops(), model,
+            tiny_cora.features, weights,
+        )
+        assert np.allclose(report.outputs, reference, atol=1e-9)
+
+    def test_functional_needs_features(self, tiny_cora):
+        model = gcn_model(tiny_cora.num_features, tiny_cora.num_classes)
+        with pytest.raises(SimulationError):
+            IGCNAccelerator().run(tiny_cora.graph, model, functional=True)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.graph import load_dataset
+
+        ds = load_dataset("cora", scale=0.2, seed=3)
+        model = gcn_model(ds.num_features, ds.num_classes)
+        return IGCNAccelerator().run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+
+    def test_pruning_rates_in_unit_interval(self, report):
+        assert 0.0 <= report.aggregation_pruning_rate < 1.0
+        assert 0.0 <= report.overall_pruning_rate < report.aggregation_pruning_rate + 1e-9
+
+    def test_actual_macs_below_baseline(self, report):
+        assert report.total_macs <= report.total_baseline_macs
+
+    def test_latency_positive(self, report):
+        assert report.latency_us > 0
+        assert report.total_cycles >= report.consumer_cycles
+
+    def test_energy_consistent(self, report):
+        assert report.graphs_per_kj == pytest.approx(
+            1000.0 / report.energy.total_j
+        )
+
+    def test_traffic_categories(self, report):
+        breakdown = report.meter.breakdown()
+        assert "features" in breakdown
+        assert "adjacency" in breakdown
+        assert "results" in breakdown
+
+    def test_summary_keys(self, report):
+        s = report.summary()
+        assert {"graph", "latency_us", "prune_agg", "rounds"} <= set(s)
+
+    def test_islandize_shortcut(self):
+        from repro.graph import load_dataset
+
+        ds = load_dataset("cora", scale=0.1, seed=3)
+        res = IGCNAccelerator().islandize(ds.graph)
+        res.validate()
+
+    def test_precomputed_islandization_reused(self):
+        from repro.graph import load_dataset
+
+        ds = load_dataset("cora", scale=0.1, seed=3)
+        acc = IGCNAccelerator()
+        isl = acc.islandize(ds.graph)
+        model = gcn_model(ds.num_features, ds.num_classes)
+        rep = acc.run(
+            ds.graph, model, feature_density=ds.feature_density,
+            islandization=isl,
+        )
+        assert rep.islandization is isl
+
+
+class TestAblationKnobs:
+    def test_wider_k_changes_pruning(self, tiny_cora):
+        model = gcn_model(tiny_cora.num_features, tiny_cora.num_classes)
+        rates = []
+        for k in (2, 6):
+            acc = IGCNAccelerator(consumer=ConsumerConfig(preagg_k=k))
+            rep = acc.run(
+                tiny_cora.graph, model,
+                feature_density=tiny_cora.feature_density,
+            )
+            rates.append(rep.aggregation_pruning_rate)
+        assert rates[0] != rates[1]
+
+    def test_cmax_one_degrades_pruning(self, tiny_cora):
+        model = gcn_model(tiny_cora.num_features, tiny_cora.num_classes)
+        small = IGCNAccelerator(locator=LocatorConfig(c_max=1)).run(
+            tiny_cora.graph, model, feature_density=tiny_cora.feature_density
+        )
+        normal = IGCNAccelerator().run(
+            tiny_cora.graph, model, feature_density=tiny_cora.feature_density
+        )
+        assert small.aggregation_pruning_rate <= normal.aggregation_pruning_rate

@@ -1,0 +1,113 @@
+"""Unit tests for island task bitmap construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import LocatorConfig, build_island_task, islandize
+from repro.core.types import Island
+from repro.errors import IslandizationError
+from repro.graph import GraphBuilder, figure7_island_graph
+
+
+@pytest.fixture
+def small_island_setup():
+    """A 3-member island attached to one hub."""
+    # hub 0 - members 1,2,3 form a triangle, all attached to the hub.
+    g = (
+        GraphBuilder(4)
+        .add_star(0, [1, 2, 3])
+        .add_clique([1, 2, 3])
+        .build()
+    )
+    island = Island(
+        island_id=0,
+        round_id=1,
+        members=np.array([1, 2, 3]),
+        hubs=np.array([0]),
+    )
+    return g, island
+
+
+class TestIslandTask:
+    def test_local_order_hubs_first(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        assert task.local_nodes.tolist() == [0, 1, 2, 3]
+        assert task.num_hubs == 1
+        assert task.num_members == 3
+
+    def test_member_block_matches_adjacency(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        member_block = task.bitmap[1:, 1:]
+        expected = np.ones((3, 3), dtype=bool) ^ np.eye(3, dtype=bool)
+        assert np.array_equal(member_block, expected)
+
+    def test_hub_hub_block_zero(self, fig7):
+        graph, members, hubs = fig7
+        res = islandize(graph, LocatorConfig(th0=4))
+        for island in res.islands:
+            task = build_island_task(graph, island, add_self_loops=False)
+            h = task.num_hubs
+            assert not task.bitmap[:h, :h].any()
+
+    def test_self_loops_on_member_diagonal_only(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=True)
+        diag = np.diag(task.bitmap)
+        assert not diag[0]           # hub diagonal stays clear
+        assert diag[1:].all()        # member diagonal set
+
+    def test_hub_rows_mirror_member_columns(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        # Edge (member, hub) must appear in both directions.
+        assert np.array_equal(task.bitmap[0, 1:], task.bitmap[1:, 0])
+
+    def test_nnz_counts_directed_entries(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        # 3 member-member undirected (6 directed) + 3 member-hub (6 directed)
+        assert task.nnz == 12
+
+    def test_member_and_hub_node_views(self, small_island_setup):
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        assert task.hub_nodes.tolist() == [0]
+        assert task.member_nodes.tolist() == [1, 2, 3]
+
+
+class TestIslandDataclass:
+    def test_rejects_empty_members(self):
+        with pytest.raises(IslandizationError):
+            Island(0, 1, members=np.array([], dtype=np.int64), hubs=np.array([1]))
+
+    def test_rejects_member_hub_overlap(self):
+        with pytest.raises(IslandizationError):
+            Island(0, 1, members=np.array([1, 2]), hubs=np.array([2]))
+
+    def test_local_order(self):
+        isl = Island(0, 1, members=np.array([5, 6]), hubs=np.array([1]))
+        assert isl.local_order.tolist() == [1, 5, 6]
+
+
+class TestCoverage:
+    def test_total_bitmap_nnz_plus_interhub_covers_graph(self):
+        g = (
+            GraphBuilder(12)
+            .add_star(0, range(1, 8))
+            .add_clique([1, 2, 3])
+            .add_clique([4, 5, 6])
+            .add_edge(8, 9)
+            .add_edge(10, 11)
+            .build()
+        )
+        res = islandize(g)
+        res.validate()
+        covered = sum(
+            build_island_task(g, i, add_self_loops=False).nnz for i in res.islands
+        )
+        directed_interhub = sum(
+            1 if u == v else 2 for u, v in res.interhub_edges.tolist()
+        )
+        assert covered + directed_interhub == g.num_edges

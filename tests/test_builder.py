@@ -1,0 +1,70 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_add_edge_chains(self):
+        b = GraphBuilder(3)
+        assert b.add_edge(0, 1) is b
+
+    def test_build_symmetrizes(self):
+        g = GraphBuilder(3).add_edge(0, 1).build()
+        assert g.has_edge(1, 0)
+
+    def test_build_no_symmetrize(self):
+        g = GraphBuilder(3).add_edge(0, 1).build(symmetrize=False)
+        assert not g.has_edge(1, 0)
+
+    def test_add_edges_bulk(self):
+        g = GraphBuilder(4).add_edges([(0, 1), (2, 3)]).build()
+        assert g.num_edges == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(0, 5)
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-1)
+
+    def test_staged_edge_count(self):
+        b = GraphBuilder(3).add_edge(0, 1).add_edge(0, 1)
+        assert b.num_staged_edges == 2  # dedup happens at build
+
+    def test_dedup_at_build(self):
+        g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 0).build()
+        assert g.num_edges == 2
+
+
+class TestShapes:
+    def test_clique(self):
+        g = GraphBuilder(4).add_clique(range(4)).build()
+        assert g.num_edges == 12
+        assert g.max_degree == 3
+
+    def test_star(self):
+        g = GraphBuilder(5).add_star(0, [1, 2, 3, 4]).build()
+        assert g.degree(0) == 4
+        assert all(g.degree(i) == 1 for i in range(1, 5))
+
+    def test_path(self):
+        g = GraphBuilder(4).add_path([0, 1, 2, 3]).build()
+        assert g.num_edges == 6
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_cycle(self):
+        g = GraphBuilder(4).add_cycle([0, 1, 2, 3]).build()
+        assert all(g.degree(i) == 2 for i in range(4))
+
+    def test_cycle_needs_three_nodes(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_cycle([0, 1])
+
+    def test_self_loop_allowed(self):
+        g = GraphBuilder(2).add_edge(0, 0).build()
+        assert g.has_self_loops()

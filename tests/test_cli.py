@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "cora"
+        assert args.model == "gcn"
+        assert args.preagg_k == 6
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_islandize_args(self):
+        args = build_parser().parse_args(
+            ["islandize", "--dataset", "citeseer", "--cmax", "32"]
+        )
+        assert args.cmax == 32
+
+    def test_experiments_only_choices(self):
+        args = build_parser().parse_args(["experiments", "--only", "fig11"])
+        assert args.only == "fig11"
+
+
+class TestCommands:
+    def test_run_small(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "I-GCN on cora" in out
+        assert "prune_agg" in out
+
+    def test_run_functional(self, capsys):
+        code = main(["run", "--dataset", "cora", "--scale", "0.05",
+                     "--functional"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "islandized - reference" in out
+
+    def test_islandize(self, capsys):
+        code = main(["islandize", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "edge coverage validated" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--dataset", "cora", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "awb-gcn" in out
+        assert "pyg-cpu" in out
+
+    def test_spy(self, capsys):
+        code = main(["spy", "--dataset", "cora", "--scale", "0.1",
+                     "--resolution", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "original" in out
+        assert "islandized" in out
+
+    def test_experiments_single(self, capsys):
+        code = main(["experiments", "--only", "fig11"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 11" in out

@@ -1,0 +1,170 @@
+"""Unit tests for the Island Consumer and its sub-plans."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConsumerConfig,
+    IslandConsumer,
+    LocatorConfig,
+    build_interhub_plan,
+    islandize,
+    prepare_tasks,
+)
+from repro.core.consumer import LayerCounts
+from repro.core.hub_cache import HubPartialResultCache, HubXWCache
+from repro.core.preagg import ScanCounts
+from repro.errors import ConfigError, SimulationError
+from repro.graph import GraphBuilder, figure7_island_graph
+from repro.hw import IGCN_DEFAULT, TrafficMeter
+from repro.models import gcn_model, normalization_for
+
+
+@pytest.fixture
+def fig7_setup(fig7):
+    graph, members, hubs = fig7
+    result = islandize(graph, LocatorConfig(th0=4))
+    norm = normalization_for(graph, "gcn-sym")
+    tasks = prepare_tasks(result, add_self_loops=True)
+    plan = build_interhub_plan(result, add_self_loops=True)
+    return graph, result, norm, tasks, plan
+
+
+class TestConsumerConfig:
+    def test_defaults(self):
+        c = ConsumerConfig()
+        assert c.preagg_k == 6
+        assert c.num_pes == 8
+
+    def test_rejects_k1(self):
+        with pytest.raises(ConfigError):
+            ConsumerConfig(preagg_k=1)
+
+
+class TestInterhubPlan:
+    def test_directed_expansion(self, fig7_setup):
+        _, result, _, _, plan = fig7_setup
+        canonical = len(result.interhub_edges)
+        assert len(plan.directed_edges) == 2 * canonical
+
+    def test_self_loops_for_all_hubs(self, fig7_setup):
+        _, result, _, _, plan = fig7_setup
+        assert set(plan.self_loop_hubs.tolist()) == set(result.hub_ids.tolist())
+
+    def test_no_self_loops_for_gin(self, fig7_setup):
+        _, result, _, _, _ = fig7_setup
+        plan = build_interhub_plan(result, add_self_loops=False)
+        assert len(plan.self_loop_hubs) == 0
+
+    def test_macs_scale_with_out_dim(self, fig7_setup):
+        _, _, _, _, plan = fig7_setup
+        assert plan.macs(16) == plan.num_ops * 16
+
+
+class TestHubCaches:
+    def test_xw_cache_hit_free(self):
+        cache = HubXWCache(capacity_bytes=1 << 20, row_bytes=64, num_hubs=10)
+        m = TrafficMeter()
+        assert cache.access(100, m) == 0.0
+        assert m.total_bytes == 0
+
+    def test_xw_cache_spill(self):
+        cache = HubXWCache(capacity_bytes=64, row_bytes=64, num_hubs=10)
+        m = TrafficMeter()
+        cache.access(10, m)
+        assert m.reads.get("hub-xw-spill", 0) > 0
+
+    def test_prc_bank_assignment_fixed(self):
+        prc = HubPartialResultCache(1 << 20, 64, num_hubs=10, num_banks=4)
+        assert prc.home_bank(6) == prc.home_bank(6) == 2
+
+    def test_prc_tracks_imbalance(self):
+        prc = HubPartialResultCache(1 << 20, 64, num_hubs=8, num_banks=4)
+        m = TrafficMeter()
+        for _ in range(9):
+            prc.update(0, m)
+        assert prc.bank_imbalance > 1.0
+
+    def test_prc_balanced_updates(self):
+        prc = HubPartialResultCache(1 << 20, 64, num_hubs=8, num_banks=4)
+        m = TrafficMeter()
+        for hub in range(8):
+            prc.update(hub, m)
+        assert prc.bank_imbalance == pytest.approx(1.0)
+
+
+class TestLayerCounts:
+    def test_pruning_accounting(self):
+        counts = LayerCounts(layer_index=0, in_dim=4, out_dim=10)
+        counts.scan = ScanCounts(baseline_ops=100, scan_ops=60, preagg_build_ops=5)
+        counts.interhub_ops = 10
+        assert counts.aggregation_baseline_macs == 110 * 10
+        assert counts.aggregation_actual_macs == 75 * 10
+        assert counts.aggregation_pruning_rate == pytest.approx(35 / 110)
+
+    def test_totals(self):
+        counts = LayerCounts(layer_index=0, in_dim=4, out_dim=2)
+        counts.combination_macs = 100
+        counts.scale_macs = 10
+        counts.scan = ScanCounts(baseline_ops=50, scan_ops=30)
+        assert counts.total_macs == 100 + 10 + 60
+        assert counts.total_baseline_macs == 100 + 10 + 100
+
+
+class TestRunLayer:
+    def test_counting_mode(self, fig7_setup):
+        graph, result, norm, tasks, plan = fig7_setup
+        consumer = IslandConsumer(ConsumerConfig(), IGCN_DEFAULT)
+        meter = TrafficMeter()
+        model = gcn_model(8, 3)
+        execution = consumer.run_layer(
+            result, tasks, plan, norm, model.layers[0],
+            layer_index=0, meter=meter, feature_density=0.5,
+        )
+        assert execution.output is None
+        counts = execution.counts
+        assert counts.combination_macs == round(8 * 8 * 0.5) * 16
+        assert counts.aggregation_baseline_macs > 0
+        assert meter.reads["features"] > 0
+        assert meter.writes["results"] > 0
+
+    def test_functional_requires_weights(self, fig7_setup):
+        graph, result, norm, tasks, plan = fig7_setup
+        consumer = IslandConsumer()
+        model = gcn_model(8, 3)
+        with pytest.raises(SimulationError):
+            consumer.run_layer(
+                result, tasks, plan, norm, model.layers[0],
+                layer_index=0, meter=TrafficMeter(), x=np.zeros((8, 8)),
+            )
+
+    def test_functional_matches_reference_single_layer(self, fig7_setup):
+        graph, result, norm, tasks, plan = fig7_setup
+        from repro.models import normalized_adjacency
+
+        from repro.models import LayerSpec
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 5))
+        w = rng.normal(size=(5, 4))
+        consumer = IslandConsumer(ConsumerConfig(preagg_k=2), IGCN_DEFAULT)
+        layer = LayerSpec(5, 4, activation="relu")
+        execution = consumer.run_layer(
+            result, tasks, plan, norm, layer,
+            layer_index=0, meter=TrafficMeter(), x=x, w=w,
+        )
+        expected = normalized_adjacency(graph, "gcn-sym") @ (x @ w)
+        expected = np.maximum(expected, 0.0)
+        assert np.allclose(execution.output, expected)
+
+    def test_hidden_layer_writes_resident_category(self, fig7_setup):
+        graph, result, norm, tasks, plan = fig7_setup
+        consumer = IslandConsumer()
+        meter = TrafficMeter()
+        model = gcn_model(8, 3)
+        consumer.run_layer(
+            result, tasks, plan, norm, model.layers[0],
+            layer_index=0, meter=meter, final_layer=False,
+        )
+        assert "hidden-results" in meter.writes
+        assert "results" not in meter.writes

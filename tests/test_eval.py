@@ -1,0 +1,97 @@
+"""Unit tests for the evaluation harness (tables, spy plots, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import render_table, spy
+from repro.eval.experiments import experiment_fig11, experiment_table1
+from repro.eval.spyplot import density_grid
+from repro.eval.tables import format_value
+from repro.graph import GraphBuilder, CSRGraph
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "22" in lines[3]  # header, rule, row 1, row 2
+
+    def test_column_union_across_rows(self):
+        out = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in out and "b" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_title(self):
+        assert "=== T ===" in render_table([{"a": 1}], title="T")
+
+    def test_format_large_float(self):
+        assert format_value(1.23e7) == "1.23e+07"
+
+    def test_format_int_commas(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_format_bool(self):
+        assert format_value(True) == "yes"
+
+
+class TestSpyPlot:
+    def test_density_grid_counts_all_nnz(self, fig2):
+        grid = density_grid(fig2, resolution=4)
+        assert grid.sum() == fig2.num_edges
+
+    def test_spy_dimensions(self, fig2):
+        art = spy(fig2, resolution=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 10 for line in lines)
+
+    def test_spy_empty_graph(self):
+        art = spy(CSRGraph.empty(4), resolution=5)
+        assert set("".join(art.splitlines())) == {"."}
+
+    def test_anti_diagonal_flip(self):
+        g = GraphBuilder(10).add_edge(0, 1).build()
+        normal = spy(g, resolution=10)
+        flipped = spy(g, resolution=10, anti_diagonal=True)
+        assert normal != flipped
+
+    def test_title_included(self, fig2):
+        assert spy(fig2, resolution=4, title="hello").startswith("hello")
+
+    def test_dense_block_darker_than_sparse(self):
+        g = (
+            GraphBuilder(64)
+            .add_clique(range(16))       # dense corner
+            .add_edge(40, 60)            # lone nnz elsewhere
+            .build()
+        )
+        grid = density_grid(g, resolution=8)
+        assert grid[0, 0] > grid[5, 7]
+
+
+class TestExperimentRegistry:
+    def test_fig11_matches_paper_split(self):
+        result = experiment_fig11()
+        assert result.extras["locator_fraction"] == pytest.approx(0.34, abs=0.02)
+        assert result.extras["consumer_fraction"] == pytest.approx(0.66, abs=0.02)
+
+    def test_fig11_renders(self):
+        text = experiment_fig11().render()
+        assert "Figure 11" in text
+        assert "tp_bfs_engines" in text
+
+    def test_table1_rows(self):
+        result = experiment_table1("cora")
+        methods = [row["method"] for row in result.rows]
+        assert len(methods) == 3
+        assert any("PULL" in m for m in methods)
+        assert any("Islandization" in m for m in methods)
+
+    def test_table1_igcn_least_traffic(self):
+        result = experiment_table1("cora")
+        traffic = {row["method"]: row["dram_mb"] for row in result.rows}
+        igcn = [v for k, v in traffic.items() if "Islandization" in k][0]
+        assert igcn <= min(traffic.values())

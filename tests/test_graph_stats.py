@@ -1,0 +1,64 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphBuilder, connected_components, graph_stats
+from repro.graph.stats import degree_histogram, gini
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        labels = connected_components(triangle)
+        assert len(set(labels.tolist())) == 1
+
+    def test_disconnected(self):
+        g = GraphBuilder(4).add_edge(0, 1).add_edge(2, 3).build()
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_nodes_own_components(self, empty_graph):
+        labels = connected_components(empty_graph)
+        assert len(set(labels.tolist())) == 5
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.ones(10)) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini(values) > 0.9
+
+    def test_empty_is_zero(self):
+        assert gini(np.zeros(0)) == 0.0
+
+
+class TestStats:
+    def test_fig2_stats(self, fig2):
+        s = graph_stats(fig2)
+        assert s.num_nodes == 6
+        assert s.num_edges == 16
+        assert s.num_components == 1
+        assert s.largest_component == 6
+
+    def test_star_stats(self, star):
+        s = graph_stats(star)
+        assert s.max_degree == 5
+        assert s.degree_p50 == 1.0
+
+    def test_empty_graph_stats(self, empty_graph):
+        s = graph_stats(empty_graph)
+        assert s.avg_degree == 0.0
+        assert s.num_components == 5
+
+    def test_as_dict_keys(self, fig2):
+        d = graph_stats(fig2).as_dict()
+        assert {"nodes", "nnz", "avg_deg", "gini"} <= set(d)
+
+    def test_degree_histogram_sums_to_n(self, fig2):
+        _, counts = degree_histogram(fig2)
+        assert counts.sum() == fig2.num_nodes

@@ -1,0 +1,202 @@
+"""Integration tests: whole-system behaviour across modules.
+
+These exercise the full pipeline (datasets -> islandizer -> consumer ->
+hardware models -> reports) and pin the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AWBGCNAccelerator, HyGCNAccelerator
+from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
+from repro.graph import load_dataset
+from repro.graph.reorder import locality_report
+from repro.models import (
+    gcn_model,
+    gin_model,
+    graphsage_model,
+    init_weights,
+    reference_forward,
+)
+
+
+@pytest.fixture(scope="module")
+def cora():
+    return load_dataset("cora", seed=7)
+
+
+@pytest.fixture(scope="module")
+def cora_report(cora):
+    model = gcn_model(cora.num_features, cora.num_classes)
+    return IGCNAccelerator().run(
+        cora.graph, model, feature_density=cora.feature_density
+    )
+
+
+class TestEndToEndFunctional:
+    """Islandized execution is lossless for all three model families,
+    on multiple datasets, through multiple layers."""
+
+    @pytest.mark.parametrize("dataset", ["cora", "citeseer"])
+    @pytest.mark.parametrize("builder", [gcn_model, graphsage_model, gin_model])
+    def test_multilayer_losslessness(self, dataset, builder):
+        ds = load_dataset(dataset, scale=0.08, with_features=True, seed=11)
+        model = builder(ds.num_features, ds.num_classes)
+        weights = init_weights(model, seed=21)
+        report = IGCNAccelerator().run(
+            ds.graph, model,
+            features=ds.features, weights=weights, functional=True,
+            feature_density=ds.feature_density,
+        )
+        reference = reference_forward(
+            ds.graph.without_self_loops(), model, ds.features, weights
+        )
+        assert np.allclose(report.outputs, reference, atol=1e-9), (
+            f"{dataset}/{model.name}: islandized result diverges"
+        )
+
+    def test_pruning_never_changes_results(self):
+        """k=2 vs k=8 must give bit-comparable outputs (both lossless)."""
+        ds = load_dataset("cora", scale=0.08, with_features=True, seed=11)
+        model = gcn_model(ds.num_features, ds.num_classes)
+        weights = init_weights(model, seed=3)
+        outs = []
+        for k in (2, 8):
+            rep = IGCNAccelerator(consumer=ConsumerConfig(preagg_k=k)).run(
+                ds.graph, model, features=ds.features, weights=weights,
+                functional=True, feature_density=ds.feature_density,
+            )
+            outs.append(rep.outputs)
+        assert np.allclose(outs[0], outs[1], atol=1e-9)
+
+
+class TestPaperClaims:
+    """Qualitative claims from the paper, checked on the surrogates."""
+
+    def test_islandization_converges_in_several_rounds(self, cora_report):
+        # §4.2: "within several rounds".
+        assert cora_report.islandization.num_rounds <= 10
+
+    def test_aggregation_pruning_in_paper_band(self, cora_report):
+        # Figure 10: Cora 39%; accept the calibrated band.
+        assert 0.25 <= cora_report.aggregation_pruning_rate <= 0.50
+
+    def test_hubs_are_small_fraction(self, cora_report):
+        # §3.1.1: "hubs are normally a small fraction of the entire graph".
+        assert cora_report.islandization.hub_fraction < 0.15
+
+    def test_locality_improves_over_original(self, cora, cora_report):
+        isl = cora_report.islandization
+        base = cora.graph.without_self_loops()
+        before = locality_report(base)
+        after = locality_report(base.permute(isl.island_permutation()))
+        assert after.tile_coverage > before.tile_coverage
+
+    def test_igcn_beats_awb_on_community_graphs(self, cora, cora_report):
+        model = gcn_model(cora.num_features, cora.num_classes)
+        awb = AWBGCNAccelerator().run(
+            cora.graph, model, feature_density=cora.feature_density
+        )
+        assert awb.latency_us > cora_report.latency_us
+
+    def test_igcn_traffic_below_baselines(self, cora, cora_report):
+        model = gcn_model(cora.num_features, cora.num_classes)
+        awb = AWBGCNAccelerator().run(
+            cora.graph, model, feature_density=cora.feature_density
+        )
+        hygcn = HyGCNAccelerator().run(
+            cora.graph, model, feature_density=cora.feature_density
+        )
+        assert cora_report.offchip_bytes < awb.offchip_bytes
+        assert cora_report.offchip_bytes < hygcn.offchip_bytes
+
+    def test_reddit_prunes_least(self):
+        rates = {}
+        for name in ("citeseer", "reddit"):
+            ds = load_dataset(name, seed=7)
+            model = gcn_model(ds.num_features, ds.num_classes)
+            rep = IGCNAccelerator().run(
+                ds.graph, model, feature_density=ds.feature_density
+            )
+            rates[name] = rep.aggregation_pruning_rate
+        # §4.6.2 / Fig 10: Reddit has the weakest community structure.
+        assert rates["reddit"] < rates["citeseer"]
+
+    def test_edge_coverage_validated_on_all_datasets(self):
+        for name in ("cora", "citeseer"):
+            ds = load_dataset(name, scale=0.2, seed=5)
+            IGCNAccelerator().islandize(ds.graph).validate()
+
+
+class TestModelVariants:
+    def test_hy_config_has_more_macs(self, cora):
+        algo = gcn_model(cora.num_features, cora.num_classes, variant="algo")
+        hy = gcn_model(cora.num_features, cora.num_classes, variant="hy")
+        acc = IGCNAccelerator()
+        isl = acc.islandize(cora.graph)
+        rep_algo = acc.run(
+            cora.graph, algo, feature_density=cora.feature_density,
+            islandization=isl,
+        )
+        rep_hy = acc.run(
+            cora.graph, hy, feature_density=cora.feature_density,
+            islandization=isl,
+        )
+        assert rep_hy.total_macs > rep_algo.total_macs
+        assert rep_hy.latency_us > rep_algo.latency_us
+
+    def test_gin_three_layer_report(self, cora):
+        model = gin_model(cora.num_features, cora.num_classes)
+        rep = IGCNAccelerator().run(
+            cora.graph, model, feature_density=cora.feature_density
+        )
+        assert len(rep.layers) == 3
+
+    def test_reports_share_islandization_cache(self, cora):
+        acc = IGCNAccelerator()
+        isl = acc.islandize(cora.graph)
+        m1 = gcn_model(cora.num_features, cora.num_classes)
+        m2 = graphsage_model(cora.num_features, cora.num_classes)
+        r1 = acc.run(cora.graph, m1, feature_density=cora.feature_density,
+                     islandization=isl)
+        r2 = acc.run(cora.graph, m2, feature_density=cora.feature_density,
+                     islandization=isl)
+        assert r1.islandization is r2.islandization
+
+
+class TestScalingBehaviour:
+    def test_bigger_graph_more_cycles(self):
+        model_dims = (64, 4)
+        cycles = []
+        for scale in (0.1, 0.4):
+            ds = load_dataset("cora", scale=scale, seed=5)
+            model = gcn_model(*model_dims)
+            rep = IGCNAccelerator().run(
+                ds.graph, model, feature_density=ds.feature_density
+            )
+            cycles.append(rep.total_cycles)
+        assert cycles[1] > cycles[0]
+
+    def test_more_macs_lower_latency(self):
+        from repro.hw import HardwareConfig
+
+        ds = load_dataset("cora", scale=0.3, seed=5)
+        model = gcn_model(ds.num_features, ds.num_classes)
+        small = IGCNAccelerator(hw=HardwareConfig(num_macs=512)).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        big = IGCNAccelerator(hw=HardwareConfig(num_macs=8192)).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        assert big.latency_us < small.latency_us
+
+    def test_locator_parallelism_speeds_locator(self):
+        ds = load_dataset("pubmed", scale=0.2, seed=5)
+        model = gcn_model(ds.num_features, ds.num_classes)
+        slow = IGCNAccelerator(locator=LocatorConfig(p1=4, p2=4)).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        fast = IGCNAccelerator(locator=LocatorConfig(p1=64, p2=64)).run(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+        assert fast.locator_cycles < slow.locator_cycles

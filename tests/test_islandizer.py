@@ -1,0 +1,221 @@
+"""Unit tests for the Island Locator (Algorithms 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import IslandLocator, LocatorConfig, islandize
+from repro.core.hub_detector import detect_new_hubs
+from repro.errors import ConfigError, IslandizationError
+from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, hub_island_graph
+from repro.graph.generators import CommunityProfile
+
+
+class TestLocatorConfig:
+    def test_defaults(self):
+        c = LocatorConfig()
+        assert c.p2 == 64
+        assert c.c_max == 64
+
+    def test_initial_threshold_quantile(self):
+        degrees = np.arange(1, 101)
+        th = LocatorConfig(th0_quantile=0.99).initial_threshold(degrees)
+        assert th == 100
+
+    def test_initial_threshold_explicit(self):
+        assert LocatorConfig(th0=17).initial_threshold(np.arange(10)) == 17
+
+    def test_threshold_decay_floors(self):
+        c = LocatorConfig(decay=0.5, th_min=2)
+        assert c.next_threshold(16) == 8
+        assert c.next_threshold(3) == 2
+        assert c.next_threshold(2) == 2
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            LocatorConfig(decay=1.5)
+        with pytest.raises(ConfigError):
+            LocatorConfig(c_max=0)
+        with pytest.raises(ConfigError):
+            LocatorConfig(p2=0)
+
+
+class TestHubDetector:
+    def test_detects_above_threshold(self):
+        degrees = np.array([5, 1, 8, 0, 3])
+        det = detect_new_hubs(degrees, np.zeros(5, dtype=bool), 4)
+        assert det.new_hubs.tolist() == [0, 2]
+
+    def test_isolated_nodes_split_out(self):
+        degrees = np.array([5, 0, 0])
+        det = detect_new_hubs(degrees, np.zeros(3, dtype=bool), 4)
+        assert det.isolated.tolist() == [1, 2]
+
+    def test_classified_skipped(self):
+        degrees = np.array([5, 8])
+        classified = np.array([True, False])
+        det = detect_new_hubs(degrees, classified, 4)
+        assert det.new_hubs.tolist() == [1]
+        assert det.detect_items == 1
+
+
+class TestBasicIslandization:
+    def test_star_graph(self, star):
+        res = islandize(star, LocatorConfig(th0=3))
+        res.validate()
+        assert res.num_hubs == 1
+        assert res.num_islands == 5  # each leaf closes alone
+
+    def test_triangle_no_hubs_needed(self, triangle):
+        # th0=4 > all degrees: first rounds produce nothing until th_min
+        res = islandize(triangle, LocatorConfig(th0=4, th_min=1))
+        res.validate()
+
+    def test_isolated_nodes_become_singletons(self, empty_graph):
+        res = islandize(empty_graph)
+        res.validate()
+        assert res.num_islands == 5
+        assert all(i.num_members == 1 for i in res.islands)
+        assert res.num_hubs == 0
+
+    def test_fig7_with_single_hub_threshold(self, fig7):
+        graph, members, hubs = fig7
+        # degrees: a=3,b=6,c=6,d..g=2,H=3; th0=4 makes b,c the hubs.
+        res = islandize(graph, LocatorConfig(th0=4))
+        res.validate()
+        assert set(res.hub_ids.tolist()) >= {1, 2}
+
+    def test_rejects_self_loops(self):
+        g = GraphBuilder(2).add_edge(0, 0).add_edge(0, 1).build()
+        with pytest.raises(IslandizationError):
+            islandize(g)
+
+    def test_empty_zero_node_graph(self):
+        res = islandize(CSRGraph.empty(0))
+        assert res.num_islands == 0
+        assert res.num_hubs == 0
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph, _ = hub_island_graph(
+            500, CommunityProfile(hub_fraction=0.04, background_fraction=0.03),
+            seed=13,
+        )
+        return islandize(graph), graph
+
+    def test_validates(self, result):
+        res, _ = result
+        res.validate()
+
+    def test_partition_complete(self, result):
+        res, graph = result
+        labels = res.membership()
+        hubs = res.is_hub()
+        assert np.all((labels >= 0) ^ hubs)
+
+    def test_islands_disjoint(self, result):
+        res, _ = result
+        seen = set()
+        for island in res.islands:
+            members = set(island.members.tolist())
+            assert not members & seen
+            seen |= members
+
+    def test_island_members_within_cmax(self, result):
+        res, _ = result
+        assert all(i.num_members <= 64 for i in res.islands)
+
+    def test_island_hubs_are_hubs(self, result):
+        res, _ = result
+        hubs = set(res.hub_ids.tolist())
+        for island in res.islands:
+            assert set(island.hubs.tolist()) <= hubs
+
+    def test_interhub_edges_exist_in_graph(self, result):
+        res, graph = result
+        for u, v in res.interhub_edges.tolist():
+            assert graph.has_edge(u, v)
+
+    def test_interhub_canonical_unique(self, result):
+        res, _ = result
+        pairs = [tuple(e) for e in res.interhub_edges.tolist()]
+        assert len(pairs) == len(set(pairs))
+        assert all(u <= v for u, v in pairs)
+
+    def test_rounds_monotone_thresholds(self, result):
+        res, _ = result
+        thresholds = [r.threshold for r in res.rounds]
+        assert all(a >= b for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_permutation_valid(self, result):
+        res, graph = result
+        perm = res.island_permutation()
+        assert np.array_equal(np.sort(perm), np.arange(graph.num_nodes))
+
+    def test_hubs_first_in_permutation(self, result):
+        res, _ = result
+        perm = res.island_permutation()
+        if res.num_hubs:
+            assert perm[res.hub_ids].max() < res.num_hubs
+
+
+class TestCmax:
+    def test_cmax_splits_dense_blob(self):
+        # One 40-clique with c_max=8: no island may exceed 8 members.
+        g = GraphBuilder(40).add_clique(range(40)).build()
+        res = islandize(g, LocatorConfig(c_max=8))
+        res.validate()
+        assert all(i.num_members <= 8 for i in res.islands)
+
+    def test_cmax_drops_recorded(self):
+        # A hub fanning into a 30-node chain: BFS from any hub
+        # neighbour must overrun c_max=4 and drop the task.
+        b = GraphBuilder(31).add_star(0, range(1, 6)).add_path(range(1, 31))
+        res = islandize(b.build(), LocatorConfig(th0=5, c_max=4))
+        drops = sum(r.tasks_dropped_cmax for r in res.rounds)
+        assert drops > 0
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_terminate_and_validate(self, seed):
+        g = erdos_renyi(200, 4.0, seed=seed)
+        res = islandize(g)
+        res.validate()
+        assert res.num_rounds < 30
+
+    def test_chain_graph(self):
+        g = GraphBuilder(50).add_path(range(50)).build()
+        res = islandize(g)
+        res.validate()
+
+    def test_two_node_components(self):
+        b = GraphBuilder(10)
+        for i in range(0, 10, 2):
+            b.add_edge(i, i + 1)
+        res = islandize(b.build())
+        res.validate()
+
+
+class TestWorkTracking:
+    def test_adjacency_fetches_positive(self, community_graph):
+        graph, _ = community_graph
+        res = islandize(graph)
+        assert res.work.total_adjacency_fetches > 0
+        assert res.work.total_adjacency_bytes > 0
+
+    def test_round_stats_sum_to_totals(self, community_graph):
+        graph, _ = community_graph
+        res = islandize(graph)
+        assert (
+            sum(r.adjacency_bytes for r in res.rounds)
+            == res.work.total_adjacency_bytes
+        )
+
+    def test_engine_load_distributed(self, community_graph):
+        graph, _ = community_graph
+        res = islandize(graph, LocatorConfig(p2=4))
+        loads = res.work.per_engine_scans
+        assert len(loads) == 4
+        assert loads.sum() == res.work.total_bfs_scans

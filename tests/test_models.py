@@ -1,0 +1,196 @@
+"""Unit tests for model configs, normalisation, reference forward pass."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ConfigError
+from repro.graph import figure2_graph
+from repro.models import (
+    LayerSpec,
+    ModelConfig,
+    build_model,
+    build_workload,
+    gcn_model,
+    gin_model,
+    graphsage_model,
+    init_weights,
+    normalization_for,
+    normalized_adjacency,
+    reference_forward,
+    reference_layer,
+)
+
+
+class TestConfigs:
+    def test_gcn_algo_dims(self):
+        m = gcn_model(1433, 7, variant="algo")
+        assert m.layer_dims() == [(1433, 16), (16, 7)]
+        assert m.aggregation == "gcn-sym"
+
+    def test_gcn_hy_dims(self):
+        m = gcn_model(1433, 7, variant="hy")
+        assert m.layer_dims() == [(1433, 128), (128, 7)]
+
+    def test_graphsage(self):
+        m = graphsage_model(500, 3)
+        assert m.num_layers == 2
+        assert m.aggregation == "sage-mean"
+
+    def test_gin_three_layers(self):
+        m = gin_model(100, 10)
+        assert m.num_layers == 3
+        assert m.aggregation == "gin-sum"
+        assert m.gin_eps == pytest.approx(0.1)
+
+    def test_hidden_relu_final_none(self):
+        m = gcn_model(10, 3)
+        assert m.layers[0].activation == "relu"
+        assert m.layers[-1].activation == "none"
+
+    def test_build_model_dispatch(self):
+        assert build_model("gcn", 10, 2).name == "gcn-algo"
+        assert build_model("gin", 10, 2).name == "gin"
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigError):
+            build_model("transformer", 10, 2)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError):
+            gcn_model(10, 2, variant="huge")
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad",
+                aggregation="gcn-sym",
+                layers=(LayerSpec(4, 8), LayerSpec(9, 2)),
+            )
+
+    def test_bad_activation_rejected(self):
+        with pytest.raises(ConfigError):
+            LayerSpec(4, 8, activation="tanh")
+
+    def test_bad_aggregation_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(name="bad", aggregation="max", layers=(LayerSpec(4, 2),))
+
+
+class TestNormalization:
+    def test_gcn_sym_matches_formula(self, fig2):
+        a_hat = normalized_adjacency(fig2, "gcn-sym").toarray()
+        dense = fig2.to_dense() + np.eye(6)
+        d = dense.sum(axis=1)
+        expected = dense / np.sqrt(np.outer(d, d))
+        assert np.allclose(a_hat, expected)
+
+    def test_sage_mean_rows_sum_to_one(self, fig2):
+        a_hat = normalized_adjacency(fig2, "sage-mean")
+        assert np.allclose(a_hat.sum(axis=1), 1.0)
+
+    def test_gin_sum_diagonal(self, fig2):
+        a_hat = normalized_adjacency(fig2, "gin-sum", gin_eps=0.25).toarray()
+        assert np.allclose(np.diag(a_hat), 1.25)
+
+    def test_factorisation_consistent(self, fig2):
+        """b_v * a_u must reconstruct every edge weight exactly."""
+        spec = normalization_for(fig2, "gcn-sym")
+        a_hat = normalized_adjacency(fig2, "gcn-sym").toarray()
+        adj = fig2.with_self_loops().to_dense()
+        rebuilt = (
+            spec.target_scale[:, None] * adj * spec.source_scale[None, :]
+        )
+        assert np.allclose(rebuilt, a_hat)
+
+    def test_unknown_kind(self, fig2):
+        with pytest.raises(ConfigError):
+            normalization_for(fig2, "max-pool")
+
+
+class TestReferenceForward:
+    def test_output_shape(self, fig2):
+        m = gcn_model(8, 3)
+        x = np.random.default_rng(0).random((6, 8))
+        out = reference_forward(fig2, m, x)
+        assert out.shape == (6, 3)
+
+    def test_sparse_features_equal_dense(self, fig2):
+        m = gcn_model(8, 3)
+        x = np.random.default_rng(0).random((6, 8))
+        x[x < 0.7] = 0.0
+        w = init_weights(m, seed=1)
+        dense = reference_forward(fig2, m, x, w)
+        sp = reference_forward(fig2, m, sparse.csr_matrix(x), w)
+        assert np.allclose(dense, sp)
+
+    def test_deterministic_weights(self):
+        m = gcn_model(8, 3)
+        w1 = init_weights(m, seed=4)
+        w2 = init_weights(m, seed=4)
+        for a, b in zip(w1, w2):
+            assert np.array_equal(a, b)
+
+    def test_relu_applied_between_layers(self, fig2):
+        m = gcn_model(4, 2)
+        x = -np.ones((6, 4))
+        w = [np.eye(4, 16), np.full((16, 2), 1.0)]
+        a_hat = normalized_adjacency(fig2, "gcn-sym")
+        hidden = reference_layer(a_hat, x, w[0], activation="relu")
+        assert hidden.min() >= 0.0
+
+    def test_weight_shape_validated(self, fig2):
+        m = gcn_model(8, 3)
+        x = np.zeros((6, 8))
+        with pytest.raises(ConfigError):
+            reference_forward(fig2, m, x, [np.zeros((3, 3)), np.zeros((16, 3))])
+
+    def test_wrong_weight_count(self, fig2):
+        m = gcn_model(8, 3)
+        with pytest.raises(ConfigError):
+            reference_forward(fig2, m, np.zeros((6, 8)), [np.zeros((8, 16))])
+
+    def test_gin_self_term(self):
+        """A single isolated node: GIN output = (1+eps) * x @ w."""
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.empty(1)
+        m = gin_model(4, 2, hidden=4, eps=0.5)
+        x = np.ones((1, 4))
+        w = [np.eye(4), np.eye(4), np.ones((4, 2))]
+        out = reference_forward(g, m, x, w)
+        assert np.allclose(out, 1.5**3 * 4)
+
+
+class TestWorkload:
+    def test_combination_macs(self, fig2):
+        m = gcn_model(10, 2)
+        w = build_workload(fig2, m, feature_density=0.5)
+        layer0 = w.layers[0]
+        assert layer0.feature_nnz == 6 * 10 * 0.5
+        assert layer0.combination_macs == layer0.feature_nnz * 16
+
+    def test_aggregation_includes_self_loops(self, fig2):
+        m = gcn_model(10, 2)
+        w = build_workload(fig2, m)
+        assert w.layers[0].adjacency_nnz == fig2.num_edges + 6
+
+    def test_gin_self_axpy_counted(self, fig2):
+        m = gin_model(10, 2)
+        w = build_workload(fig2, m)
+        assert w.layers[0].adjacency_nnz == fig2.num_edges + 6
+
+    def test_hidden_layers_dense(self, fig2):
+        m = gcn_model(10, 2)
+        w = build_workload(fig2, m, feature_density=0.1)
+        assert w.layers[1].feature_nnz == 6 * 16
+
+    def test_aggregation_fraction_in_unit_interval(self, fig2):
+        m = gcn_model(100, 10)
+        w = build_workload(fig2, m)
+        assert 0.0 < w.aggregation_fraction < 1.0
+
+    def test_total_macs_additive(self, fig2):
+        m = gcn_model(10, 2)
+        w = build_workload(fig2, m)
+        assert w.total_macs == w.combination_macs + w.aggregation_macs

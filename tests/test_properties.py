@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These are the load-bearing guarantees of the reproduction:
+
+* islandization is a *partition* with exact edge coverage on arbitrary
+  graphs, for arbitrary locator parameters;
+* the window-scan reuse path is numerically identical to the plain
+  per-edge aggregation for arbitrary bitmaps, widths, and boundaries;
+* reorderings always emit permutations;
+* the pipeline makespan is sandwiched between its lower bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LocatorConfig, islandize
+from repro.core.preagg import scan_aggregate, scan_costs
+from repro.core.pipeline import pipelined_makespan
+from repro.graph import CSRGraph
+from repro.graph.reorder import get_reordering, reordering_names
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graphs(draw, max_nodes=40, max_edges=120):
+    """Arbitrary undirected graphs without self-loops."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    rows = [u for u, v in pairs if u != v]
+    cols = [v for u, v in pairs if u != v]
+    return CSRGraph.from_edges(
+        n, np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+    )
+
+
+@st.composite
+def bitmaps(draw, max_rows=10, max_cols=14):
+    """Arbitrary boolean bitmaps with a feature matrix."""
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    flat = draw(
+        st.lists(st.booleans(), min_size=rows * cols, max_size=rows * cols)
+    )
+    bitmap = np.asarray(flat, dtype=bool).reshape(rows, cols)
+    k = draw(st.integers(2, 8))
+    boundary = draw(st.integers(0, cols))
+    return bitmap, k, boundary
+
+
+# ----------------------------------------------------------------------
+# Islandization invariants
+# ----------------------------------------------------------------------
+class TestIslandizationProperties:
+    @given(graph=graphs(), cmax=st.integers(1, 20), decay=st.floats(0.3, 0.8))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_and_coverage(self, graph, cmax, decay):
+        config = LocatorConfig(c_max=cmax, decay=decay)
+        result = islandize(graph, config)
+        result.validate()  # partition + closure + exact edge coverage
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_island_sizes_respect_cmax(self, graph):
+        config = LocatorConfig(c_max=5)
+        result = islandize(graph, config)
+        assert all(i.num_members <= 5 for i in result.islands)
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_is_bijection(self, graph):
+        result = islandize(graph)
+        perm = result.island_permutation()
+        assert np.array_equal(np.sort(perm), np.arange(graph.num_nodes))
+
+    @given(graph=graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, graph):
+        a = islandize(graph)
+        b = islandize(graph)
+        assert a.num_islands == b.num_islands
+        assert np.array_equal(a.hub_ids, b.hub_ids)
+
+
+# ----------------------------------------------------------------------
+# Window-scan properties
+# ----------------------------------------------------------------------
+class TestScanProperties:
+    @given(case=bitmaps())
+    @settings(max_examples=100, deadline=None)
+    def test_scan_aggregate_lossless(self, case):
+        bitmap, k, boundary = case
+        rng = np.random.default_rng(bitmap.sum())
+        xw = rng.normal(size=(bitmap.shape[1], 3))
+        acc, _ = scan_aggregate(bitmap, k, xw, boundary=boundary)
+        assert np.allclose(acc, bitmap.astype(float) @ xw, atol=1e-10)
+
+    @given(case=bitmaps())
+    @settings(max_examples=100, deadline=None)
+    def test_scan_never_exceeds_baseline(self, case):
+        bitmap, k, boundary = case
+        counts = scan_costs(bitmap, k, boundary=boundary)
+        assert counts.scan_ops <= counts.baseline_ops
+        assert counts.baseline_ops == int(bitmap.sum())
+
+    @given(case=bitmaps())
+    @settings(max_examples=60, deadline=None)
+    def test_functional_and_counting_agree(self, case):
+        bitmap, k, boundary = case
+        xw = np.ones((bitmap.shape[1], 2))
+        _, functional = scan_aggregate(bitmap, k, xw, boundary=boundary)
+        counting = scan_costs(bitmap, k, boundary=boundary)
+        assert functional.scan_ops == counting.scan_ops
+        assert functional.preagg_build_ops == counting.preagg_build_ops
+
+    @given(case=bitmaps())
+    @settings(max_examples=60, deadline=None)
+    def test_window_classification_partitions(self, case):
+        bitmap, k, boundary = case
+        c = scan_costs(bitmap, k, boundary=boundary)
+        total_windows = (
+            c.windows_full + c.windows_subtract + c.windows_direct
+            + c.windows_skipped
+        )
+        from repro.core.preagg import group_layout
+
+        starts, _ = group_layout(bitmap.shape[1], k, boundary=boundary)
+        assert total_windows == bitmap.shape[0] * len(starts)
+
+
+# ----------------------------------------------------------------------
+# Reordering properties
+# ----------------------------------------------------------------------
+class TestReorderingProperties:
+    @given(graph=graphs(max_nodes=30, max_edges=60))
+    @settings(max_examples=25, deadline=None)
+    def test_all_reorderings_emit_permutations(self, graph):
+        for name in reordering_names():
+            result = get_reordering(name).run(graph)
+            assert np.array_equal(
+                np.sort(result.permutation), np.arange(graph.num_nodes)
+            )
+
+    @given(graph=graphs(max_nodes=30, max_edges=60))
+    @settings(max_examples=25, deadline=None)
+    def test_reordering_preserves_edge_count(self, graph):
+        for name in ("hubsort", "dbg", "rabbit"):
+            result = get_reordering(name).run(graph)
+            assert result.apply(graph).num_edges == graph.num_edges
+
+
+# ----------------------------------------------------------------------
+# Pipeline makespan properties
+# ----------------------------------------------------------------------
+class TestPipelineProperties:
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_makespan_bounds(self, data):
+        releases = np.cumsum([r for r, _ in data]).tolist()
+        work = [w for _, w in data]
+        makespan = pipelined_makespan(releases, work)
+        assert makespan >= sum(work) - 1e-9          # server bound
+        assert makespan >= releases[-1] - 1e-9       # release bound
+        assert makespan <= releases[-1] + sum(work) + 1e-9  # serial bound
+
+
+# ----------------------------------------------------------------------
+# CSR round-trip properties
+# ----------------------------------------------------------------------
+class TestCSRProperties:
+    @given(graph=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_scipy_roundtrip(self, graph):
+        again = CSRGraph.from_scipy(graph.to_scipy())
+        assert np.array_equal(again.indptr, graph.indptr)
+        assert np.array_equal(again.indices, graph.indices)
+
+    @given(graph=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_invariant(self, graph):
+        assert graph.is_symmetric()
+
+    @given(graph=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_self_loop_roundtrip(self, graph):
+        with_loops = graph.with_self_loops()
+        assert with_loops.num_edges == graph.num_edges + graph.num_nodes
+        back = with_loops.without_self_loops()
+        assert back.num_edges == graph.num_edges

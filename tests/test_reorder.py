@@ -1,0 +1,189 @@
+"""Unit tests for the six lightweight reordering baselines + metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, hub_island_graph
+from repro.graph.generators import CommunityProfile
+from repro.graph.reorder import (
+    average_index_distance,
+    bandwidth,
+    get_reordering,
+    locality_report,
+    outlier_fraction,
+    reordering_names,
+    tile_coverage,
+    working_set_score,
+)
+from repro.graph.reorder.dbg import dbg_group_ids
+from repro.graph.reorder.degree import hot_mask
+from repro.errors import GraphError
+
+PAPER_SIX = ["rabbit", "dbg", "hubsort", "hubcluster", "dbg-hubsort", "dbg-hubcluster"]
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    graph, _ = hub_island_graph(
+        400, CommunityProfile(hub_fraction=0.05, background_fraction=0.05), seed=9
+    )
+    return graph
+
+
+class TestRegistry:
+    def test_paper_six_registered(self):
+        names = reordering_names()
+        for name in PAPER_SIX:
+            assert name in names
+
+    def test_paper_order_first(self):
+        assert reordering_names()[:6] == PAPER_SIX
+
+    def test_unknown_raises(self):
+        with pytest.raises(GraphError):
+            get_reordering("metis")
+
+
+@pytest.mark.parametrize("name", PAPER_SIX + ["sort"])
+class TestEveryReordering:
+    def test_output_is_permutation(self, name, skewed_graph):
+        result = get_reordering(name).run(skewed_graph)
+        perm = np.sort(result.permutation)
+        assert np.array_equal(perm, np.arange(skewed_graph.num_nodes))
+
+    def test_deterministic(self, name, skewed_graph):
+        a = get_reordering(name).run(skewed_graph).permutation
+        b = get_reordering(name).run(skewed_graph).permutation
+        assert np.array_equal(a, b)
+
+    def test_apply_preserves_edges(self, name, skewed_graph):
+        result = get_reordering(name).run(skewed_graph)
+        assert result.apply(skewed_graph).num_edges == skewed_graph.num_edges
+
+    def test_timing_recorded(self, name, skewed_graph):
+        result = get_reordering(name).run(skewed_graph)
+        assert result.seconds > 0
+
+
+class TestDegreeFamilies:
+    def test_sort_descending(self, skewed_graph):
+        perm = get_reordering("sort").run(skewed_graph).permutation
+        order = np.empty_like(perm)
+        order[perm] = np.arange(len(perm))
+        degrees = skewed_graph.degrees[order]
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_hubsort_hot_nodes_first(self, skewed_graph):
+        perm = get_reordering("hubsort").run(skewed_graph).permutation
+        hot = hot_mask(skewed_graph)
+        assert perm[hot].max() < perm[~hot].min()
+
+    def test_hubcluster_preserves_hot_order(self, skewed_graph):
+        perm = get_reordering("hubcluster").run(skewed_graph).permutation
+        hot_ids = np.flatnonzero(hot_mask(skewed_graph))
+        assert np.all(np.diff(perm[hot_ids]) > 0)
+
+    def test_hubcluster_preserves_cold_order(self, skewed_graph):
+        perm = get_reordering("hubcluster").run(skewed_graph).permutation
+        cold_ids = np.flatnonzero(~hot_mask(skewed_graph))
+        assert np.all(np.diff(perm[cold_ids]) > 0)
+
+
+class TestDBG:
+    def test_group_ids_monotone_with_degree(self):
+        degrees = np.array([100, 50, 10, 5, 1])
+        groups = dbg_group_ids(degrees)
+        assert np.all(np.diff(groups) >= 0)
+
+    def test_dbg_hot_groups_lead(self, skewed_graph):
+        perm = get_reordering("dbg").run(skewed_graph).permutation
+        degrees = skewed_graph.degrees
+        top = np.argsort(-degrees)[:5]
+        assert perm[top].max() < skewed_graph.num_nodes // 2
+
+    def test_dbg_empty_graph(self):
+        g = CSRGraph.empty(0)
+        assert len(get_reordering("dbg").run(g).permutation) == 0
+
+
+class TestRabbit:
+    def test_clusters_planted_communities(self):
+        graph, labels = hub_island_graph(
+            300,
+            CommunityProfile(hub_fraction=0.03, island_density=0.9,
+                             background_fraction=0.01),
+            seed=4,
+        )
+        perm = get_reordering("rabbit").run(graph).permutation
+        # Members of the same island should land close together.
+        spans = []
+        for island in range(labels.max() + 1):
+            members = np.flatnonzero(labels == island)
+            if len(members) >= 3:
+                spans.append(np.ptp(perm[members]) / len(members))
+        assert np.median(spans) < graph.num_nodes / 20
+
+    def test_improves_locality_over_random(self):
+        g = erdos_renyi(300, 6.0, seed=2)
+        graph, _ = hub_island_graph(300, CommunityProfile(), seed=2)
+        before = average_index_distance(graph)
+        after = average_index_distance(
+            get_reordering("rabbit").run(graph).apply(graph)
+        )
+        assert after < before
+
+
+class TestMetrics:
+    def test_empty_graph_metrics(self, empty_graph):
+        assert average_index_distance(empty_graph) == 0.0
+        assert bandwidth(empty_graph) == 0.0
+        assert tile_coverage(empty_graph) == 1.0
+
+    def test_diagonal_layout_is_local(self):
+        g = GraphBuilder(100, name="chain").add_path(range(100)).build()
+        assert average_index_distance(g) == pytest.approx(1 / 100)
+        assert bandwidth(g) == pytest.approx(1 / 100)
+
+    def test_tile_coverage_dense_block(self):
+        g = GraphBuilder(64).add_clique(range(32)).build()
+        assert tile_coverage(g, tile=32, density_threshold=0.1) == 1.0
+
+    def test_outlier_fraction_complement(self, skewed_graph):
+        cov = tile_coverage(skewed_graph)
+        out = outlier_fraction(skewed_graph)
+        assert cov + out == pytest.approx(1.0)
+
+    def test_working_set_chain_low(self):
+        g = GraphBuilder(128).add_path(range(128)).build()
+        assert working_set_score(g, block=64) <= 2.0
+
+    def test_report_fields(self, skewed_graph):
+        rep = locality_report(skewed_graph, name="x")
+        d = rep.as_dict()
+        assert d["layout"] == "x"
+        assert 0 <= d["tile_cov"] <= 1
+
+
+class TestRCM:
+    """Extension baseline: Reverse Cuthill-McKee."""
+
+    def test_registered(self):
+        assert "rcm" in reordering_names()
+
+    def test_permutation_valid(self, skewed_graph):
+        perm = get_reordering("rcm").run(skewed_graph).permutation
+        assert np.array_equal(np.sort(perm), np.arange(skewed_graph.num_nodes))
+
+    def test_reduces_bandwidth_on_chain(self):
+        # A shuffled chain: RCM should restore near-optimal bandwidth.
+        rng = np.random.default_rng(0)
+        shuffle = rng.permutation(60)
+        g = GraphBuilder(60).add_path(shuffle.tolist()).build()
+        before = bandwidth(g)
+        after = bandwidth(get_reordering("rcm").run(g).apply(g))
+        assert after < before
+
+    def test_handles_disconnected(self):
+        g = GraphBuilder(6).add_edge(0, 1).add_edge(2, 3).build()
+        perm = get_reordering("rcm").run(g).permutation
+        assert np.array_equal(np.sort(perm), np.arange(6))

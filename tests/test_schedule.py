@@ -1,0 +1,127 @@
+"""Unit tests for the event-driven PE schedule model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConsumerConfig,
+    IGCNAccelerator,
+    prepare_tasks,
+    schedule_islands,
+)
+from repro.core.schedule import island_task_cycles
+from repro.errors import SimulationError
+from repro.graph import load_dataset
+from repro.hw import HardwareConfig, IGCN_DEFAULT
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    ds = load_dataset("cora", scale=0.2, seed=3)
+    isl = IGCNAccelerator().islandize(ds.graph)
+    return prepare_tasks(isl, add_self_loops=True)
+
+
+class TestTaskCost:
+    def test_positive_cost(self, tasks):
+        cost = island_task_cycles(
+            tasks[0], in_dim=64, out_dim=16, feature_density=1.0,
+            preagg_k=4, macs_per_pe=100.0,
+        )
+        assert cost > 0
+
+    def test_scales_inverse_with_pe_width(self, tasks):
+        narrow = island_task_cycles(
+            tasks[0], in_dim=64, out_dim=16, feature_density=1.0,
+            preagg_k=4, macs_per_pe=50.0,
+        )
+        wide = island_task_cycles(
+            tasks[0], in_dim=64, out_dim=16, feature_density=1.0,
+            preagg_k=4, macs_per_pe=200.0,
+        )
+        assert narrow == pytest.approx(4 * wide)
+
+    def test_rejects_zero_width(self, tasks):
+        with pytest.raises(SimulationError):
+            island_task_cycles(
+                tasks[0], in_dim=4, out_dim=4, feature_density=1.0,
+                preagg_k=4, macs_per_pe=0.0,
+            )
+
+
+class TestSchedule:
+    def test_all_tasks_scheduled(self, tasks):
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(), in_dim=64, out_dim=16
+        )
+        assert len(report.tasks) == len(tasks)
+
+    def test_no_pe_overlap(self, tasks):
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(num_pes=4), in_dim=64, out_dim=16
+        )
+        by_pe: dict[int, list] = {}
+        for t in report.tasks:
+            by_pe.setdefault(t.pe, []).append(t)
+        for pe_tasks in by_pe.values():
+            pe_tasks.sort(key=lambda t: t.start_cycle)
+            for a, b in zip(pe_tasks, pe_tasks[1:]):
+                assert b.start_cycle >= a.end_cycle - 1e-9
+
+    def test_makespan_bounds(self, tasks):
+        config = ConsumerConfig(num_pes=4)
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, config, in_dim=64, out_dim=16
+        )
+        total = report.busy_cycles.sum()
+        longest = max(t.duration for t in report.tasks)
+        assert report.makespan >= total / config.num_pes - 1e-9
+        assert report.makespan >= longest - 1e-9
+        assert report.makespan <= total + 1e-9
+
+    def test_utilization_in_unit_interval(self, tasks):
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(), in_dim=64, out_dim=16
+        )
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_makespan_invariant_at_fixed_mac_budget(self, tasks):
+        """The MAC array is fixed; splitting it across more PEs trades
+        per-task speed for task parallelism, so makespan stays within a
+        small factor (it only degrades via end-of-schedule imbalance)."""
+        few = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(num_pes=2), in_dim=64, out_dim=16
+        )
+        many = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(num_pes=16), in_dim=64, out_dim=16
+        )
+        assert many.makespan == pytest.approx(few.makespan, rel=1.0)
+
+    def test_wider_array_shorter_makespan(self, tasks):
+        config = ConsumerConfig(num_pes=8)
+        small = schedule_islands(
+            tasks, HardwareConfig(num_macs=1024), config, in_dim=64, out_dim=16
+        )
+        big = schedule_islands(
+            tasks, HardwareConfig(num_macs=8192), config, in_dim=64, out_dim=16
+        )
+        assert big.makespan < small.makespan
+
+    def test_imbalance_at_least_one(self, tasks):
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(num_pes=8), in_dim=64, out_dim=16
+        )
+        assert report.load_imbalance >= 1.0
+
+    def test_per_pe_task_counts_sum(self, tasks):
+        report = schedule_islands(
+            tasks, IGCN_DEFAULT, ConsumerConfig(num_pes=8), in_dim=64, out_dim=16
+        )
+        assert sum(report.per_pe_tasks()) == len(tasks)
+
+    def test_empty_task_list(self):
+        report = schedule_islands(
+            [], IGCN_DEFAULT, ConsumerConfig(), in_dim=4, out_dim=4
+        )
+        assert report.makespan == 0.0
+        assert report.utilization == 1.0
