@@ -10,15 +10,14 @@ import pytest
 
 from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.eval import render_table
-from repro.graph import load_dataset
 from repro.models import gcn_model
 
 
 @pytest.fixture(scope="module")
-def setup():
-    ds = load_dataset("cora", seed=7)
+def setup(engine):
+    ds = engine.dataset("cora", seed=7)
     model = gcn_model(ds.num_features, ds.num_classes)
-    isl = IGCNAccelerator().islandize(ds.graph)
+    isl = engine.islandization(ds.graph)
     return ds, model, isl
 
 

@@ -9,28 +9,36 @@ aggregation — DESIGN.md §3).
 
 import pytest
 
-from repro.core import IGCNAccelerator
 from repro.eval import render_table
-from repro.graph import load_dataset
 from repro.models import build_model
+from repro.runtime import Engine
 
 
 @pytest.fixture(scope="module")
-def datasets():
-    return {name: load_dataset(name, seed=7) for name in ("cora", "citeseer", "pubmed")}
+def bench_engine():
+    # A module-local engine: the session-wide one may already hold
+    # cached reports for these exact cells (other bench modules run
+    # first), which would turn the timed sweep into dict lookups.
+    return Engine()
 
 
-def test_model_families(benchmark, datasets):
+@pytest.fixture(scope="module")
+def datasets(bench_engine):
+    return {
+        name: bench_engine.dataset(name, seed=7)
+        for name in ("cora", "citeseer", "pubmed")
+    }
+
+
+def test_model_families(benchmark, datasets, bench_engine):
     def sweep():
         rows = []
-        acc = IGCNAccelerator()
         for name, ds in datasets.items():
-            isl = acc.islandize(ds.graph)
             for family in ("gcn", "graphsage", "gin"):
                 model = build_model(family, ds.num_features, ds.num_classes)
-                rep = acc.run(ds.graph, model,
-                              feature_density=ds.feature_density,
-                              islandization=isl)
+                # The engine's artifact cache shares the islandization
+                # across the three families automatically.
+                rep = bench_engine.simulate("igcn", ds, model)
                 rows.append({
                     "dataset": name,
                     "model": model.name,

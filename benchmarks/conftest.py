@@ -6,19 +6,31 @@ paper-vs-measured table, and asserts the *shape* of the published
 result (who wins, rank order, magnitude bands).  Heavy experiments are
 benchmarked with a single round; micro-kernels (islandization, window
 scan) use normal pytest-benchmark statistics.
+
+All shared state flows through the runtime :class:`~repro.runtime.Engine`
+(the same process-wide instance the experiment registry uses), so
+datasets and islandizations are computed once per session no matter how
+many bench modules touch them.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.graph import load_dataset
+from repro.eval.experiments import shared_engine
+from repro.runtime import Engine
 
 
 @pytest.fixture(scope="session")
-def cora():
+def engine() -> Engine:
+    """The process-wide runtime Engine (shared with the experiments)."""
+    return shared_engine()
+
+
+@pytest.fixture(scope="session")
+def cora(engine):
     """Full-size Cora surrogate shared across bench modules."""
-    return load_dataset("cora", seed=7)
+    return engine.dataset("cora", seed=7)
 
 
 def emit(result) -> None:

@@ -1,5 +1,9 @@
-"""Setup shim: enables legacy editable installs in offline environments
-where the `wheel` package (needed by PEP 517 editable builds) is absent.
+"""Setup shim: enables legacy editable installs (``pip install -e .``
+with ``--no-build-isolation``) in offline environments where the
+``wheel`` package (needed by PEP 517 editable builds) is absent.
+
+All project metadata lives in ``pyproject.toml``; setuptools reads it
+from there.
 """
 from setuptools import setup
 

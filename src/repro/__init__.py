@@ -19,6 +19,13 @@ Quickstart::
     report = IGCNAccelerator().run(ds.graph, model,
                                    feature_density=ds.feature_density)
     print(report.summary())
+
+Or through the unified runtime (any platform, cached artifacts)::
+
+    from repro import Engine
+
+    engine = Engine()
+    rows = engine.sweep(["cora", "citeseer"], ["igcn", "awb", "hygcn"])
 """
 
 from repro.core import (
@@ -45,8 +52,10 @@ from repro.models import (
     graphsage_model,
     reference_forward,
 )
+from repro.report import BaseReport
+from repro.runtime import Engine, get_simulator, register_simulator, simulator_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "IGCNAccelerator",
@@ -67,5 +76,10 @@ __all__ = [
     "gin_model",
     "build_model",
     "reference_forward",
+    "BaseReport",
+    "Engine",
+    "get_simulator",
+    "register_simulator",
+    "simulator_names",
     "__version__",
 ]

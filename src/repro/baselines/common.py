@@ -19,12 +19,13 @@ from repro.hw.energy import EnergyReport, estimate_energy
 from repro.hw.memory import TrafficMeter, effective_offchip_bytes
 from repro.models.configs import ModelConfig
 from repro.models.workload import Workload, build_workload
+from repro.report import BaseReport
 
 __all__ = ["SimReport", "AcceleratorModel"]
 
 
 @dataclass
-class SimReport:
+class SimReport(BaseReport):
     """Uniform result record for any simulated platform."""
 
     platform: str
@@ -38,27 +39,9 @@ class SimReport:
     notes: str = ""
 
     @property
-    def offchip_bytes(self) -> int:
-        """Total DRAM traffic."""
-        return self.meter.total_bytes
-
-    @property
-    def graphs_per_kj(self) -> float:
-        """Energy efficiency, when an energy model applies."""
-        if self.energy is None:
-            return float("nan")
-        return self.energy.graphs_per_kj
-
-    def summary(self) -> dict[str, object]:
-        """Flat dict for table rendering."""
-        return {
-            "platform": self.platform,
-            "graph": self.graph_name,
-            "model": self.model_name,
-            "macs": self.macs,
-            "dram_mb": round(self.offchip_bytes / 1e6, 3),
-            "latency_us": round(self.latency_us, 3),
-        }
+    def macs_performed(self) -> int:
+        """Uniform-report alias of :attr:`macs`."""
+        return self.macs
 
 
 class AcceleratorModel(ABC):
@@ -83,9 +66,16 @@ class AcceleratorModel(ABC):
         model: ModelConfig,
         *,
         feature_density: float = 1.0,
+        workload: Workload | None = None,
     ) -> SimReport:
-        """Simulate one inference; latency = max(compute, memory)."""
-        workload = build_workload(graph, model, feature_density=feature_density)
+        """Simulate one inference; latency = max(compute, memory).
+
+        ``workload`` lets callers (the runtime Engine) supply a cached
+        operation-count descriptor; it must match
+        ``build_workload(graph, model, feature_density=...)``.
+        """
+        if workload is None:
+            workload = build_workload(graph, model, feature_density=feature_density)
         meter = self.traffic(graph, workload)
         macs = self.macs(workload)
         compute_cycles = macs / (self.hw.num_macs * self.hw.compute_utilization)

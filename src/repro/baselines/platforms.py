@@ -31,7 +31,7 @@ from repro.baselines.common import SimReport
 from repro.graph.csr import CSRGraph
 from repro.hw.memory import TrafficMeter
 from repro.models.configs import ModelConfig
-from repro.models.workload import BYTES_PER_VALUE, build_workload
+from repro.models.workload import BYTES_PER_VALUE, Workload, build_workload
 
 __all__ = ["PlatformModel", "PLATFORMS", "platform_names", "get_platform"]
 
@@ -51,9 +51,15 @@ class PlatformModel:
         model: ModelConfig,
         *,
         feature_density: float = 1.0,
+        workload: Workload | None = None,
     ) -> SimReport:
-        """Estimate one inference on this platform."""
-        workload = build_workload(graph, model, feature_density=feature_density)
+        """Estimate one inference on this platform.
+
+        ``workload`` lets callers (the runtime Engine) supply a cached
+        operation-count descriptor.
+        """
+        if workload is None:
+            workload = build_workload(graph, model, feature_density=feature_density)
         dense_flops = 0.0
         scatter_bytes = 0.0
         meter = TrafficMeter()

@@ -47,7 +47,9 @@ class SigmaAccelerator(AcceleratorModel):
         for layer in workload.layers:
             # A (sparse) x X (sparse at layer 0): one MAC per (edge,
             # nnz-of-source-row) pair; the density term captures X's nnz.
-            density = layer.feature_nnz / (workload.num_nodes * layer.in_dim)
+            # A 0-node graph has no feature matrix at all.
+            dense_size = workload.num_nodes * layer.in_dim
+            density = layer.feature_nnz / dense_size if dense_size else 0.0
             total += int(layer.adjacency_nnz * layer.in_dim * density)
             # (A X) is dense: full dense GEMM against W.
             total += workload.num_nodes * layer.in_dim * layer.out_dim

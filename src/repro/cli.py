@@ -2,19 +2,28 @@
 
 Commands
 --------
-``run``       simulate one inference and print the report
+``run``       simulate one inference (any platform) and print the report
 ``islandize`` run only the Island Locator and print round statistics
 ``compare``   cross-platform comparison on one dataset
+``sweep``     batched datasets × models × platforms sweep (optionally
+              process-parallel) through the runtime Engine
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
+
+All simulation goes through the runtime registry
+(``repro.runtime.get_simulator``); artifact caching and batching go
+through ``repro.runtime.Engine``.
 
 Examples
 --------
 ::
 
     python -m repro run --dataset cora --model gcn
+    python -m repro run --dataset cora --platform hygcn
     python -m repro islandize --dataset citeseer --cmax 32
     python -m repro compare --dataset pubmed
+    python -m repro sweep --datasets cora citeseer --platforms igcn awb
+    python -m repro sweep --datasets cora pubmed --parallel 4
     python -m repro spy --dataset cora
 """
 
@@ -23,14 +32,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.baselines import (
-    AWBGCNAccelerator,
-    HyGCNAccelerator,
-    SigmaAccelerator,
-    get_platform,
-    platform_names,
-)
 from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
+from repro.errors import ReproError, SimulationError
 from repro.eval import render_table, spy
 from repro.eval.experiments import (
     experiment_fig9,
@@ -44,8 +47,20 @@ from repro.eval.experiments import (
 )
 from repro.graph import dataset_names, load_dataset
 from repro.models import build_model
+from repro.runtime import (
+    Engine,
+    get_simulator,
+    resolve_name,
+    simulator_aliases,
+    simulator_names,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: I-GCN knob defaults, shared between the parser and the
+#: "flag only applies to igcn" guard in _cmd_run.
+_DEFAULT_PREAGG_K = 6
+_DEFAULT_CMAX = 64
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,15 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="node-count multiplier (default: per-dataset)")
         p.add_argument("--seed", type=int, default=7)
 
+    # Accept aliases too, so platform names printed by compare/sweep
+    # ("awb-gcn", ...) round-trip as input.
+    platform_choices = simulator_names() + simulator_aliases()
+
     run = sub.add_parser("run", help="simulate one inference")
     add_dataset_args(run)
+    run.add_argument("--platform", choices=platform_choices, default="igcn",
+                     help="which registered simulator to run")
     run.add_argument("--model", choices=["gcn", "graphsage", "gin"],
                      default="gcn")
     run.add_argument("--variant", choices=["algo", "hy"], default="algo")
-    run.add_argument("--preagg-k", type=int, default=6)
-    run.add_argument("--cmax", type=int, default=64)
+    run.add_argument("--preagg-k", type=int, default=_DEFAULT_PREAGG_K)
+    run.add_argument("--cmax", type=int, default=_DEFAULT_CMAX)
     run.add_argument("--functional", action="store_true",
-                     help="execute real math and verify vs reference")
+                     help="execute real math and verify vs reference "
+                          "(igcn only)")
 
     isl = sub.add_parser("islandize", help="run only the Island Locator")
     add_dataset_args(isl)
@@ -81,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser("compare", help="cross-platform comparison")
     add_dataset_args(cmp_)
     cmp_.add_argument("--variant", choices=["algo", "hy"], default="algo")
+
+    swp = sub.add_parser(
+        "sweep", help="batched datasets x models x platforms sweep"
+    )
+    swp.add_argument("--datasets", nargs="+", choices=dataset_names(),
+                     default=list(dataset_names()),
+                     help="datasets to sweep (default: all five)")
+    swp.add_argument("--platforms", nargs="+", choices=platform_choices,
+                     default=["igcn", "awb", "hygcn", "sigma"],
+                     help="registered platforms to sweep")
+    swp.add_argument("--models", nargs="+", default=["gcn"],
+                     help="model specs, 'family' or 'family:variant' "
+                          "(e.g. gcn gcn:hy gin)")
+    swp.add_argument("--variant", choices=["algo", "hy"], default="algo",
+                     help="default variant for specs without one")
+    swp.add_argument("--scale", type=float, default=None)
+    swp.add_argument("--seed", type=int, default=7)
+    swp.add_argument("--parallel", type=int, default=0,
+                     help="process-pool workers (0 = serial)")
 
     spy_ = sub.add_parser("spy", help="ASCII spy plot, before/after")
     add_dataset_args(spy_)
@@ -97,21 +138,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    platform = resolve_name(args.platform)
+    if args.functional and platform != "igcn":
+        raise SimulationError("--functional is only supported on igcn")
+    if platform != "igcn" and (
+        args.cmax != _DEFAULT_CMAX or args.preagg_k != _DEFAULT_PREAGG_K
+    ):
+        raise SimulationError(
+            "--cmax/--preagg-k configure the I-GCN locator/consumer and "
+            "only apply with --platform igcn"
+        )
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
                       with_features=args.functional)
     model_kwargs = {} if args.model == "gin" else {"variant": args.variant}
     model = build_model(args.model, ds.num_features, ds.num_classes,
                         **model_kwargs)
-    acc = IGCNAccelerator(
-        locator=LocatorConfig(c_max=args.cmax),
-        consumer=ConsumerConfig(preagg_k=args.preagg_k),
-    )
-    report = acc.run(
-        ds.graph, model, feature_density=ds.feature_density,
-        functional=args.functional,
-        features=ds.features if args.functional else None,
-    )
-    print(render_table([report.summary()], title=f"I-GCN on {ds.name}"))
+    if platform == "igcn":
+        sim = get_simulator(
+            "igcn",
+            locator=LocatorConfig(c_max=args.cmax),
+            consumer=ConsumerConfig(preagg_k=args.preagg_k),
+        )
+        report = sim.simulate(
+            ds.graph, model, feature_density=ds.feature_density,
+            functional=args.functional,
+            features=ds.features if args.functional else None,
+        )
+    else:
+        report = get_simulator(platform).simulate(
+            ds.graph, model, feature_density=ds.feature_density
+        )
+    title = ("I-GCN" if platform == "igcn" else report.platform)
+    print(render_table([report.summary()], title=f"{title} on {ds.name}"))
     if args.functional:
         import numpy as np
 
@@ -152,36 +210,53 @@ def _cmd_islandize(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = Engine()
+    ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed)
     model = build_model("gcn", ds.num_features, ds.num_classes,
                         variant=args.variant)
-    igcn = IGCNAccelerator().run(
-        ds.graph, model, feature_density=ds.feature_density
-    )
-    rows = [
-        {"platform": "i-gcn", "latency_us": round(igcn.latency_us, 2),
-         "speedup": 1.0, "dram_mb": round(igcn.offchip_bytes / 1e6, 3)}
-    ]
-    hw_baselines = [AWBGCNAccelerator(), HyGCNAccelerator(), SigmaAccelerator()]
-    for accel in hw_baselines:
-        rep = accel.run(ds.graph, model, feature_density=ds.feature_density)
+    igcn = engine.simulate("igcn", ds, model)
+    rows = []
+    for name in simulator_names():
+        if name in ("pull", "push"):
+            # Idealized dataflow characterization models (Table 1), not
+            # part of the paper's cross-platform comparison set.
+            continue
+        rep = engine.simulate(name, ds, model)
         rows.append({
             "platform": rep.platform,
             "latency_us": round(rep.latency_us, 2),
             "speedup": round(rep.latency_us / igcn.latency_us, 2),
             "dram_mb": round(rep.offchip_bytes / 1e6, 3),
         })
-    for name in platform_names():
-        rep = get_platform(name).run(
-            ds.graph, model, feature_density=ds.feature_density
-        )
-        rows.append({
-            "platform": name,
-            "latency_us": round(rep.latency_us, 2),
-            "speedup": round(rep.latency_us / igcn.latency_us, 1),
-        })
     print(render_table(rows, title=f"cross-platform on {ds.name} "
                                    f"(GCN-{args.variant})"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    engine = Engine()
+    rows = engine.sweep(
+        args.datasets,
+        args.platforms,
+        models=args.models,
+        variant=args.variant,
+        scale=args.scale,
+        seed=args.seed,
+        parallel=args.parallel or None,
+    )
+    title = (
+        f"sweep: {len(args.datasets)} datasets x {len(args.models)} models "
+        f"x {len(args.platforms)} platforms"
+    )
+    print(render_table(rows, title=title))
+    if not args.parallel:
+        stats = engine.cache_stats()
+        print(
+            f"\ncache: islandizations computed "
+            f"{stats['islandization'].misses}, reused "
+            f"{stats['islandization'].hits}; datasets loaded "
+            f"{stats['dataset'].misses}"
+        )
     return 0
 
 
@@ -217,16 +292,25 @@ def _cmd_experiments(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`repro.errors.ReproError`) print as clean
+    one-line messages with exit code 2 instead of tracebacks.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
         "islandize": _cmd_islandize,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "spy": _cmd_spy,
         "experiments": _cmd_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,10 +18,10 @@ latency/EE (Table 2, Fig 14B), round statistics (Fig 9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
-from repro.core.bitmap import IslandTask
 from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
 from repro.core.interhub import build_interhub_plan
@@ -30,19 +30,21 @@ from repro.core.pipeline import pipelined_makespan
 from repro.core.types import IslandizationResult
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import Dataset
 from repro.hw.config import HardwareConfig, IGCN_DEFAULT
 from repro.hw.energy import EnergyReport, estimate_energy
 from repro.hw.memory import TrafficMeter, effective_offchip_bytes
 from repro.models.configs import ModelConfig
 from repro.models.reference import init_weights, normalization_for
+from repro.report import BaseReport
 
 __all__ = ["IGCNAccelerator", "IGCNReport"]
 
 
 @dataclass
-class IGCNReport:
+class IGCNReport(BaseReport):
     """Complete result of one simulated I-GCN inference."""
+
+    platform: ClassVar[str] = "igcn"
 
     graph_name: str
     model_name: str
@@ -57,6 +59,11 @@ class IGCNReport:
     outputs: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
+    @property
+    def macs_performed(self) -> int:
+        """Uniform-report alias of :attr:`total_macs`."""
+        return self.total_macs
+
     @property
     def total_macs(self) -> int:
         """MACs actually performed (with redundancy removal)."""
@@ -87,30 +94,14 @@ class IGCNReport:
         agg = sum(layer.aggregation_baseline_macs for layer in self.layers)
         return agg / baseline if baseline else 0.0
 
-    @property
-    def offchip_bytes(self) -> int:
-        """Total DRAM traffic."""
-        return self.meter.total_bytes
-
-    @property
-    def graphs_per_kj(self) -> float:
-        """Table 2's energy-efficiency metric."""
-        return self.energy.graphs_per_kj
-
-    def summary(self) -> dict[str, object]:
-        """Key metrics as a flat dict (for table rendering)."""
+    def _summary_extras(self) -> dict[str, object]:
+        """Islandization and pruning metrics unique to I-GCN."""
         return {
-            "graph": self.graph_name,
-            "model": self.model_name,
             "rounds": self.islandization.num_rounds,
             "islands": self.islandization.num_islands,
             "hubs": self.islandization.num_hubs,
-            "macs": self.total_macs,
             "prune_agg": round(self.aggregation_pruning_rate, 4),
             "prune_all": round(self.overall_pruning_rate, 4),
-            "dram_mb": round(self.offchip_bytes / 1e6, 3),
-            "latency_us": round(self.latency_us, 3),
-            "graphs_per_kj": round(self.graphs_per_kj, 1),
         }
 
 
@@ -154,8 +145,15 @@ class IGCNAccelerator:
         """
         if functional and features is None:
             raise SimulationError("functional mode requires features")
-        clean = graph.without_self_loops()
-        result = islandization or IslandLocator(self.locator_config).run(clean)
+        if islandization is not None:
+            # The locator already holds the self-loop-free copy it ran
+            # on; reuse it instead of rebuilding an O(nnz) clean graph
+            # per call (the runtime Engine leans on this).
+            clean = islandization.graph
+            result = islandization
+        else:
+            clean = graph.without_self_loops()
+            result = IslandLocator(self.locator_config).run(clean)
 
         norm = normalization_for(clean, model.aggregation, gin_eps=model.gin_eps)
         tasks = prepare_tasks(result, add_self_loops=norm.add_self_loops)
@@ -247,6 +245,15 @@ class IGCNAccelerator:
             round_cycles.append(max(detect, scans, dram))
         locator_cycles = float(sum(round_cycles))
         consumer_cycles = float(sum(layer_cycles))
+        pipeline_fill = 64.0
+
+        # Degenerate graphs (0 nodes, or nothing left after self-loop
+        # removal) produce zero locator rounds; there is no release
+        # schedule to overlap, so the consumer runs start-to-finish and
+        # the releases/chunks/shares arrays below (which are all sized
+        # per-round) are never built with mismatched lengths.
+        if not round_cycles:
+            return 0.0, consumer_cycles, consumer_cycles + pipeline_fill
 
         # Islands stream to the consumer *as they form* (§3.1.1: no
         # per-round synchronisation on the consumer side), so round r's
@@ -254,7 +261,7 @@ class IGCNAccelerator:
         # locator's production rate can starve the consumer, which the
         # release-time makespan captures.  A small fixed fill covers the
         # first-island delay.
-        cumulative = np.cumsum(round_cycles) if round_cycles else np.zeros(1)
+        cumulative = np.cumsum(round_cycles)
         releases = [0.0] + cumulative[:-1].tolist()
         islanded = np.asarray(
             [s.nodes_islanded + s.hubs_found for s in result.rounds], dtype=np.float64
@@ -264,7 +271,6 @@ class IGCNAccelerator:
         else:
             shares = islanded / islanded.sum()
         chunks = (shares * consumer_cycles).tolist()
-        pipeline_fill = 64.0
         total = max(
             pipelined_makespan(releases, chunks), locator_cycles
         ) + pipeline_fill

@@ -29,7 +29,7 @@ from scipy import sparse
 from repro.core.bitmap import IslandTask, build_island_task
 from repro.core.config import ConsumerConfig
 from repro.core.hub_cache import HubPartialResultCache, HubXWCache
-from repro.core.interhub import InterHubPlan, build_interhub_plan
+from repro.core.interhub import InterHubPlan
 from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
 from repro.core.types import IslandizationResult
 from repro.errors import SimulationError

@@ -94,14 +94,24 @@ class IslandLocator:
                 classified[iso] = True
 
             # --- Th2: task generation (reads each new hub's adjacency).
-            tasks: list[tuple[int, int]] = []
-            taskgen_fetches = 0
-            taskgen_bytes = 0
-            for hub in new_hubs.tolist():
-                neighbors = graph.neighbors(hub)
-                taskgen_fetches += 1
-                taskgen_bytes += len(neighbors) * 4
-                tasks.extend((hub, int(a0)) for a0 in neighbors.tolist())
+            # Vectorised CSR gather: one (hub, a0) task per adjacency
+            # entry of each new hub, emitted hub-major with neighbours
+            # in row (sorted) order — the exact sequence the scalar
+            # per-hub loop produced, so round stats are unchanged.
+            starts = graph.indptr[new_hubs]
+            counts = graph.indptr[new_hubs + 1] - starts
+            total_tasks = int(counts.sum())
+            prefix = np.cumsum(counts) - counts
+            flat = np.arange(total_tasks, dtype=np.int64) + np.repeat(
+                starts - prefix, counts
+            )
+            task_hubs = np.repeat(new_hubs, counts)
+            task_seeds = graph.indices[flat]
+            tasks: list[tuple[int, int]] = list(
+                zip(task_hubs.tolist(), task_seeds.tolist())
+            )
+            taskgen_fetches = len(new_hubs)
+            taskgen_bytes = total_tasks * 4
 
             # --- Th3: TP-BFS over the task queue.
             state = BFSRoundState.create(

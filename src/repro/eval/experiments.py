@@ -7,36 +7,28 @@ kept alongside as ``paper_*`` columns so every output is a direct
 paper-vs-measured comparison; EXPERIMENTS.md is generated from these.
 
 The functions are deliberately deterministic (fixed dataset seeds) and
-cached per process so the benchmark suite can call into shared state
-without recomputing islandization for every figure.
+share one process-wide runtime :class:`~repro.runtime.Engine`, so the
+benchmark suite calls into shared cached state without recomputing
+datasets or islandization for every figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
-from repro.baselines import (
-    AWBGCNAccelerator,
-    HyGCNAccelerator,
-    PullAccelerator,
-    PushAccelerator,
-    SigmaAccelerator,
-    get_platform,
-)
-from repro.core import ConsumerConfig, IGCNAccelerator, IGCNReport
+from repro.core import IGCNReport
 from repro.eval.spyplot import spy
 from repro.eval.tables import render_table
-from repro.graph import load_dataset
 from repro.graph.reorder import get_reordering, locality_report, reordering_names
 from repro.hw.area import AreaModel
-from repro.hw.config import IGCN_DEFAULT
 from repro.models import gcn_model
+from repro.runtime import Engine
 
 __all__ = [
     "ExperimentResult",
+    "shared_engine",
     "experiment_table1",
     "experiment_table2",
     "experiment_fig9",
@@ -92,26 +84,31 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Shared cached state
+# Shared cached state: one process-wide runtime Engine.  All artifact
+# caching (datasets, islandizations, workloads, reports) lives there —
+# this module keeps no memoization of its own.
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=None)
+_ENGINE = Engine()
+
+
+def shared_engine() -> Engine:
+    """The process-wide Engine the experiment registry runs on."""
+    return _ENGINE
+
+
 def _dataset(name: str):
-    return load_dataset(name, seed=7)
+    return _ENGINE.dataset(name, seed=7)
 
 
-@lru_cache(maxsize=None)
+def _report(name: str, platform: str, variant: str = "algo"):
+    """Cached simulation of ``platform`` on dataset ``name``."""
+    ds = _dataset(name)
+    model = gcn_model(ds.num_features, ds.num_classes, variant=variant)
+    return _ENGINE.simulate(platform, ds, model)
+
+
 def _igcn_report(name: str, variant: str = "algo") -> IGCNReport:
-    ds = _dataset(name)
-    model = gcn_model(ds.num_features, ds.num_classes, variant=variant)
-    return IGCNAccelerator().run(
-        ds.graph, model, feature_density=ds.feature_density
-    )
-
-
-def _baseline_report(name: str, accel, variant: str = "algo"):
-    ds = _dataset(name)
-    model = gcn_model(ds.num_features, ds.num_classes, variant=variant)
-    return accel.run(ds.graph, model, feature_density=ds.feature_density)
+    return _report(name, "igcn", variant)
 
 
 # ----------------------------------------------------------------------
@@ -126,8 +123,8 @@ def experiment_table1(dataset: str = "cora") -> ExperimentResult:
     """
     ds = _dataset(dataset)
     model = gcn_model(ds.num_features, ds.num_classes)
-    pull = _baseline_report(dataset, PullAccelerator(IGCN_DEFAULT))
-    push = _baseline_report(dataset, PushAccelerator(IGCN_DEFAULT))
+    pull = _report(dataset, "pull")
+    push = _report(dataset, "push")
     igcn = _igcn_report(dataset)
 
     n = ds.graph.num_nodes
@@ -173,7 +170,7 @@ def experiment_table2() -> ExperimentResult:
     for variant in ("algo", "hy"):
         for name in EVAL_DATASETS:
             igcn = _igcn_report(name, variant)
-            awb = _baseline_report(name, AWBGCNAccelerator(), variant)
+            awb = _report(name, "awb", variant)
             row = {
                 "config": f"GCN_{variant}",
                 "dataset": name,
@@ -321,8 +318,8 @@ def experiment_fig12(
                 continue  # not one of the paper's six
             result = get_reordering(reorder_name).run(ds.graph)
             reordered = result.apply(ds.graph)
-            awb = AWBGCNAccelerator().run(
-                reordered, model, feature_density=ds.feature_density
+            awb = _ENGINE.simulate(
+                "awb", reordered, model, feature_density=ds.feature_density
             )
             reorder_us = result.seconds * 1e6
             rows.append(
@@ -383,30 +380,22 @@ def experiment_fig13(dataset: str = "cora", *, with_plots: bool = False,
 # ----------------------------------------------------------------------
 def experiment_fig14() -> ExperimentResult:
     """(A) normalised DRAM traffic and (B) latency speedups vs I-GCN."""
-    platforms = [
-        ("awb-gcn", lambda: AWBGCNAccelerator()),
-        ("hygcn", lambda: HyGCNAccelerator()),
-        ("sigma", lambda: SigmaAccelerator()),
-    ]
+    accelerators = [("awb-gcn", "awb"), ("hygcn", "hygcn"), ("sigma", "sigma")]
     software = ["pyg-cpu", "dgl-cpu", "pyg-gpu-v100", "pyg-gpu-rtx8000", "dgl-gpu-v100"]
     rows = []
     for name in EVAL_DATASETS:
-        ds = _dataset(name)
-        model = gcn_model(ds.num_features, ds.num_classes)
         igcn = _igcn_report(name)
         row = {
             "dataset": name,
             "igcn_us": round(igcn.latency_us, 2),
             "igcn_dram_mb": round(igcn.offchip_bytes / 1e6, 3),
         }
-        for pname, factory in platforms:
-            rep = factory().run(ds.graph, model, feature_density=ds.feature_density)
-            row[f"{pname}_x"] = round(rep.latency_us / igcn.latency_us, 2)
-            row[f"{pname}_dram"] = round(rep.offchip_bytes / igcn.offchip_bytes, 2)
+        for label, platform in accelerators:
+            rep = _report(name, platform)
+            row[f"{label}_x"] = round(rep.latency_us / igcn.latency_us, 2)
+            row[f"{label}_dram"] = round(rep.offchip_bytes / igcn.offchip_bytes, 2)
         for pname in software:
-            rep = get_platform(pname).run(
-                ds.graph, model, feature_density=ds.feature_density
-            )
+            rep = _report(name, pname)
             row[f"{pname}_x"] = round(rep.latency_us / igcn.latency_us, 1)
         rows.append(row)
     return ExperimentResult(

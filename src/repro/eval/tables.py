@@ -14,6 +14,8 @@ __all__ = ["render_table", "format_value"]
 
 def format_value(value: object) -> str:
     """Human-friendly cell formatting."""
+    if value is None:
+        return "-"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

@@ -20,6 +20,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -142,6 +143,24 @@ class CSRGraph:
         for u in range(self.num_nodes):
             for v in self.neighbors(u):
                 yield u, int(v)
+
+    def fingerprint(self) -> str:
+        """Content digest of the CSR structure + name (cached).
+
+        The graph is immutable, so the digest is computed once and
+        stored on the instance; artifact caches key graphs by it
+        (hashing the raw arrays directly would make every cache lookup
+        linear in nnz).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.name.encode())
+            digest.update(self.indptr.tobytes())
+            digest.update(self.indices.tobytes())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Structure checks and conversions

@@ -18,7 +18,7 @@ abstraction ``X' = sigma(A_hat X W)`` with a per-family ``A_hat``; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

@@ -1,0 +1,84 @@
+"""Common report interface shared by every simulated platform.
+
+Historically the repo had two incompatible result records — the I-GCN
+accelerator's :class:`~repro.core.accelerator.IGCNReport` and the
+baselines' :class:`~repro.baselines.common.SimReport` — which forced
+every caller (CLI, experiments, benchmarks) to special-case the two.
+:class:`BaseReport` reconciles them: any report exposes ``platform``,
+``graph_name``, ``model_name``, ``latency_us``, a :class:`TrafficMeter`
+(``meter``), an optional energy model, and a uniform ``summary()``.
+
+``base_summary()`` is the *shared* schema — identical keys for every
+platform, which is what ``Engine.sweep`` emits so cross-platform rows
+tabulate cleanly.  ``summary()`` extends it with platform-specific
+extras (e.g. I-GCN's pruning rates) via ``_summary_extras``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["BaseReport", "SUMMARY_FIELDS"]
+
+#: Keys guaranteed present in every report's ``summary()``.
+SUMMARY_FIELDS = (
+    "platform",
+    "graph",
+    "model",
+    "macs",
+    "dram_mb",
+    "latency_us",
+    "graphs_per_kj",
+)
+
+
+class BaseReport:
+    """Mixin giving simulator reports one uniform result surface.
+
+    Subclasses (dataclasses) must provide the attributes ``platform``,
+    ``graph_name``, ``model_name``, ``latency_us``, ``meter`` and
+    ``energy`` (which may be ``None``), plus the :attr:`macs_performed`
+    property.
+    """
+
+    @property
+    def macs_performed(self) -> int:
+        """MACs actually executed by this platform."""
+        raise NotImplementedError
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Total DRAM traffic."""
+        return self.meter.total_bytes
+
+    @property
+    def graphs_per_kj(self) -> float:
+        """Table 2's energy-efficiency metric (NaN without an energy model)."""
+        energy = getattr(self, "energy", None)
+        if energy is None:
+            return float("nan")
+        return energy.graphs_per_kj
+
+    # ------------------------------------------------------------------
+    def base_summary(self) -> dict[str, object]:
+        """The shared cross-platform schema (:data:`SUMMARY_FIELDS`)."""
+        gpkj = self.graphs_per_kj
+        return {
+            "platform": self.platform,
+            "graph": self.graph_name,
+            "model": self.model_name,
+            "macs": self.macs_performed,
+            "dram_mb": round(self.offchip_bytes / 1e6, 3),
+            "latency_us": round(self.latency_us, 3),
+            "graphs_per_kj": None if math.isnan(gpkj) else round(gpkj, 1),
+        }
+
+    def _summary_extras(self) -> dict[str, object]:
+        """Platform-specific additions merged into :meth:`summary`."""
+        return {}
+
+    def summary(self) -> dict[str, object]:
+        """Key metrics as a flat dict (shared schema + platform extras)."""
+        merged = self.base_summary()
+        merged.update(self._summary_extras())
+        return merged

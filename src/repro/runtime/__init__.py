@@ -1,0 +1,44 @@
+"""Unified simulation runtime: registry, cached artifacts, sweeps.
+
+The runtime is the load-bearing layer every front-end (CLI, experiment
+registry, benchmarks, future serving paths) goes through:
+
+* :func:`get_simulator` / :func:`register_simulator` — one string-keyed
+  registry over every platform (``igcn``, ``awb``, ``hygcn``,
+  ``sigma``, ``push``, ``pull``, and the CPU/GPU framework models),
+  each exposing ``simulate(graph, model, **opts) -> BaseReport``.
+* :class:`Engine` — memoizes datasets, self-loop-free graph copies,
+  islandizations and workloads, and exposes ``sweep(datasets ×
+  models × platforms)`` with optional process-parallel execution and
+  deterministic row ordering.
+"""
+
+from repro.report import SUMMARY_FIELDS, BaseReport
+from repro.runtime.engine import CacheStats, Engine, graph_fingerprint, sweep
+from repro.runtime.registry import (
+    IGCNSimulator,
+    Simulator,
+    WrappedSimulator,
+    get_simulator,
+    register_simulator,
+    resolve_name,
+    simulator_aliases,
+    simulator_names,
+)
+
+__all__ = [
+    "BaseReport",
+    "SUMMARY_FIELDS",
+    "CacheStats",
+    "Engine",
+    "graph_fingerprint",
+    "sweep",
+    "Simulator",
+    "IGCNSimulator",
+    "WrappedSimulator",
+    "get_simulator",
+    "register_simulator",
+    "resolve_name",
+    "simulator_names",
+    "simulator_aliases",
+]

@@ -1,0 +1,320 @@
+"""The simulation Engine: cached artifacts and batched sweeps.
+
+The expensive parts of reproducing the paper's cross-platform tables
+are *shared* between cells: five datasets × many platforms × several
+model variants all reuse the same dataset surrogates, the same
+self-loop-free graph copies, the same
+:class:`~repro.core.types.IslandizationResult` per (graph, locator
+config), and the same :class:`~repro.models.workload.Workload` per
+(graph, model).  Previously each caller kept its own ad-hoc
+``lru_cache`` state; :class:`Engine` centralises it behind explicit,
+inspectable caches (``engine.cache_stats()``) and layers a batched
+sweep API on top::
+
+    from repro.runtime import Engine
+
+    engine = Engine()
+    rows = engine.sweep(["cora", "citeseer"], ["igcn", "awb"])
+    # deterministic dataset-major × model × platform row order
+
+``sweep(..., parallel=4)`` fans the per-(dataset, model) work units out
+over a ``concurrent.futures`` process pool; each worker re-derives the
+shared artifacts once for its unit, and the row order is identical to
+the serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.config import LocatorConfig
+from repro.core.islandizer import IslandLocator
+from repro.core.types import IslandizationResult
+from repro.errors import ConfigError, SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import Dataset, load_dataset
+from repro.models.configs import ModelConfig, build_model
+from repro.models.workload import Workload, build_workload
+from repro.report import BaseReport
+from repro.runtime.registry import get_simulator, resolve_name
+
+__all__ = ["CacheStats", "Engine", "graph_fingerprint", "sweep"]
+
+#: Artifact caches maintained by the Engine, in dependency order.
+_CACHE_NAMES = ("dataset", "clean_graph", "islandization", "workload", "report")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one artifact cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        """All lookups."""
+        return self.hits + self.misses
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content digest of a graph (structure + name), usable as a key.
+
+    :class:`CSRGraph` holds numpy arrays and is not hashable;
+    :meth:`CSRGraph.fingerprint` digests the CSR bytes once per
+    instance (graphs are immutable), so repeated cache lookups stay
+    O(1) while still distinguishing reordered/cleaned variants that
+    share a name.
+    """
+    return graph.fingerprint()
+
+
+def _model_for(ds: Dataset, spec: str, default_variant: str = "algo") -> ModelConfig:
+    """Build the model a sweep cell asks for.
+
+    ``spec`` is ``"family"`` or ``"family:variant"`` (e.g. ``"gcn"``,
+    ``"gcn:hy"``, ``"gin"``); only families with variants accept the
+    suffix — anything else is an error rather than a silent drop.
+    """
+    family, _, variant = spec.partition(":")
+    kwargs: dict[str, Any] = {}
+    if family in ("gcn", "graphsage"):
+        kwargs["variant"] = variant or default_variant
+    elif variant:
+        raise ConfigError(
+            f"model family {family!r} takes no ':variant' suffix (got {spec!r})"
+        )
+    return build_model(family, ds.num_features, ds.num_classes, **kwargs)
+
+
+class Engine:
+    """Memoizing façade over the simulator registry.
+
+    Parameters
+    ----------
+    locator:
+        Default Island Locator configuration used for islandization
+        artifacts (a simulator with a different locator config gets its
+        own cache entries — the config is part of the key).
+    """
+
+    def __init__(self, *, locator: LocatorConfig | None = None) -> None:
+        self.locator_config = locator or LocatorConfig()
+        self._caches: dict[str, dict[Any, Any]] = {n: {} for n in _CACHE_NAMES}
+        self._stats: dict[str, CacheStats] = {n: CacheStats() for n in _CACHE_NAMES}
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _memo(self, cache: str, key: Any, compute) -> Any:
+        store = self._caches[cache]
+        stats = self._stats[cache]
+        if key in store:
+            stats.hits += 1
+            return store[key]
+        stats.misses += 1
+        value = compute()
+        store[key] = value
+        return value
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss counters per artifact cache (a live view)."""
+        return dict(self._stats)
+
+    def clear(self) -> None:
+        """Drop every cached artifact and reset the counters.
+
+        The :class:`CacheStats` objects are reset in place so views
+        previously returned by :meth:`cache_stats` stay live.
+        """
+        for name in _CACHE_NAMES:
+            self._caches[name].clear()
+            self._stats[name].hits = 0
+            self._stats[name].misses = 0
+
+    # ------------------------------------------------------------------
+    # Cached artifacts
+    # ------------------------------------------------------------------
+    def dataset(
+        self,
+        name: str,
+        *,
+        scale: float | None = None,
+        seed: int = 7,
+        with_features: bool = False,
+    ) -> Dataset:
+        """Cached :func:`repro.graph.load_dataset`."""
+        key = (name, scale, seed, with_features)
+        return self._memo(
+            "dataset",
+            key,
+            lambda: load_dataset(
+                name, scale=scale, seed=seed, with_features=with_features
+            ),
+        )
+
+    def clean_graph(self, graph: CSRGraph) -> CSRGraph:
+        """Cached self-loop-free copy of ``graph``."""
+        key = graph_fingerprint(graph)
+        return self._memo("clean_graph", key, graph.without_self_loops)
+
+    def islandization(
+        self, graph: CSRGraph, config: LocatorConfig | None = None
+    ) -> IslandizationResult:
+        """Cached Island Locator result for (graph, locator config).
+
+        ``graph`` may still carry self-loops; the cached clean copy is
+        islandized, mirroring ``IGCNAccelerator.islandize``.
+        """
+        config = config or self.locator_config
+        clean = self.clean_graph(graph)
+        key = (graph_fingerprint(clean), config)
+        return self._memo(
+            "islandization", key, lambda: IslandLocator(config).run(clean)
+        )
+
+    def workload(
+        self, graph: CSRGraph, model: ModelConfig, *, feature_density: float = 1.0
+    ) -> Workload:
+        """Cached operation-count workload for (graph, model, density)."""
+        key = (graph_fingerprint(graph), model, feature_density)
+        return self._memo(
+            "workload",
+            key,
+            lambda: build_workload(graph, model, feature_density=feature_density),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        platform: str,
+        data: Dataset | CSRGraph,
+        model: ModelConfig | None = None,
+        *,
+        feature_density: float | None = None,
+        **opts: Any,
+    ) -> BaseReport:
+        """Run ``platform`` on a dataset or raw graph through the registry.
+
+        When ``data`` is a :class:`Dataset`, the model defaults to the
+        paper's 2-layer GCN at the dataset's dimensions and
+        ``feature_density`` to the published value.  Reports of
+        option-free runs are cached, so experiments sharing a cell get
+        the same object back.
+        """
+        ds = data if isinstance(data, Dataset) else None
+        graph = ds.graph if ds is not None else data
+        if model is None:
+            if ds is None:
+                raise SimulationError(
+                    "simulate() needs an explicit model when given a raw graph"
+                )
+            model = _model_for(ds, "gcn")
+        if feature_density is None:
+            feature_density = ds.feature_density if ds is not None else 1.0
+
+        key = (resolve_name(platform), graph_fingerprint(graph), model, feature_density)
+        if opts:
+            # Functional runs etc. carry unhashable payloads: bypass the
+            # report cache entirely (no stats — this is not a lookup).
+            return self._run(platform, graph, model, feature_density, opts)
+        return self._memo(
+            "report", key, lambda: self._run(platform, graph, model, feature_density, {})
+        )
+
+    def _run(
+        self,
+        platform: str,
+        graph: CSRGraph,
+        model: ModelConfig,
+        feature_density: float,
+        opts: dict[str, Any],
+    ) -> BaseReport:
+        simulator = get_simulator(platform)
+        return simulator.simulate(
+            graph, model, feature_density=feature_density, engine=self, **opts
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        datasets: Sequence[str],
+        platforms: Sequence[str],
+        *,
+        models: Sequence[str] = ("gcn",),
+        variant: str = "algo",
+        scale: float | None = None,
+        seed: int = 7,
+        parallel: int | bool | None = None,
+    ) -> list[dict[str, object]]:
+        """Batched cross-product sweep: datasets × models × platforms.
+
+        Returns one shared-schema summary row (see
+        :data:`repro.report.SUMMARY_FIELDS`) per cell, ordered
+        dataset-major, then model, then platform — deterministically,
+        whether serial or parallel.
+
+        ``parallel`` — ``None``/``0``/``False`` runs serially in this
+        process (sharing this engine's caches across all cells);
+        ``True`` or a worker count fans the (dataset, model) units out
+        over a process pool.  Rows are identical either way.
+        """
+        platforms = [resolve_name(p) for p in platforms]
+        jobs = [
+            (name, scale, seed, spec, variant, tuple(platforms), self.locator_config)
+            for name in datasets
+            for spec in models
+        ]
+        if not parallel:
+            rows: list[dict[str, object]] = []
+            for job in jobs:
+                rows.extend(self._sweep_unit(job))
+            return rows
+        max_workers = None if parallel is True else int(parallel)
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(
+                f"parallel must be a positive worker count (got {parallel})"
+            )
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            chunks = list(pool.map(_sweep_worker, jobs))
+        return [row for chunk in chunks for row in chunk]
+
+    def _sweep_unit(self, job: tuple) -> list[dict[str, object]]:
+        """All platform rows of one (dataset, model) sweep cell."""
+        name, scale, seed, spec, variant, platforms, _locator = job
+        ds = self.dataset(name, scale=scale, seed=seed)
+        model = _model_for(ds, spec, variant)
+        return [
+            self.simulate(platform, ds, model).base_summary()
+            for platform in platforms
+        ]
+
+
+#: Per-worker-process engines, keyed by locator config, so sweep units
+#: that land in the same pool worker share datasets and islandizations
+#: just like the serial path does.
+_WORKER_ENGINES: dict[LocatorConfig, Engine] = {}
+
+
+def _sweep_worker(job: tuple) -> list[dict[str, object]]:
+    """Process-pool entry: run one sweep unit in this worker's engine."""
+    locator = job[-1]
+    engine = _WORKER_ENGINES.get(locator)
+    if engine is None:
+        engine = _WORKER_ENGINES.setdefault(locator, Engine(locator=locator))
+    return engine._sweep_unit(job)
+
+
+def sweep(
+    datasets: Sequence[str],
+    platforms: Iterable[str],
+    **kwargs: Any,
+) -> list[dict[str, object]]:
+    """One-shot convenience wrapper: ``Engine().sweep(...)``."""
+    return Engine().sweep(datasets, list(platforms), **kwargs)

@@ -170,3 +170,31 @@ class TestAblationKnobs:
             tiny_cora.graph, model, feature_density=tiny_cora.feature_density
         )
         assert small.aggregation_pruning_rate <= normal.aggregation_pruning_rate
+
+
+class TestDegenerateGraphs:
+    """Zero-round inputs must not break the latency pipeline model."""
+
+    @pytest.mark.parametrize("num_nodes", [0, 3])
+    def test_edgeless_graph_simulates_cleanly(self, num_nodes):
+        from repro.graph import CSRGraph
+
+        graph = CSRGraph.empty(num_nodes, name="degenerate")
+        model = gcn_model(4, 2)
+        report = IGCNAccelerator().run(graph, model)
+        # 0 nodes means zero locator rounds: no locator work, and the
+        # total is just the consumer plus the pipeline fill.
+        if num_nodes == 0:
+            assert report.islandization.num_rounds == 0
+            assert report.locator_cycles == 0.0
+            assert report.total_cycles == pytest.approx(
+                report.consumer_cycles + 64.0
+            )
+            assert report.total_macs == 0
+        else:
+            # Isolated nodes become singleton islands; the GCN's A+I
+            # self-loop still aggregates each node with itself.
+            assert report.islandization.num_islands == num_nodes
+            assert report.total_macs > 0
+        assert np.isfinite(report.latency_us)
+        assert report.summary()["macs"] == report.total_macs

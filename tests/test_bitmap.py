@@ -6,7 +6,7 @@ import pytest
 from repro.core import LocatorConfig, build_island_task, islandize
 from repro.core.types import Island
 from repro.errors import IslandizationError
-from repro.graph import GraphBuilder, figure7_island_graph
+from repro.graph import GraphBuilder
 
 
 @pytest.fixture

@@ -15,7 +15,6 @@ from repro.core.consumer import LayerCounts
 from repro.core.hub_cache import HubPartialResultCache, HubXWCache
 from repro.core.preagg import ScanCounts
 from repro.errors import ConfigError, SimulationError
-from repro.graph import GraphBuilder, figure7_island_graph
 from repro.hw import IGCN_DEFAULT, TrafficMeter
 from repro.models import gcn_model, normalization_for
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import CSRGraph, GraphBuilder
+from repro.graph import CSRGraph
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Unit tests for the evaluation harness (tables, spy plots, registry)."""
 
-import numpy as np
 import pytest
 
 from repro.eval import render_table, spy

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, GraphBuilder, connected_components, graph_stats
+from repro.graph import GraphBuilder, connected_components, graph_stats
 from repro.graph.stats import degree_histogram, gini
 
 

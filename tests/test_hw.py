@@ -1,7 +1,6 @@
 """Unit tests for the hardware models: config, memory, cycles, energy,
 area, ring."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

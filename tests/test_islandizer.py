@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import IslandLocator, LocatorConfig, islandize
+from repro.core import LocatorConfig, islandize
 from repro.core.hub_detector import detect_new_hubs
 from repro.errors import ConfigError, IslandizationError
 from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, hub_island_graph

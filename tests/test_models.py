@@ -5,7 +5,6 @@ import pytest
 from scipy import sparse
 
 from repro.errors import ConfigError
-from repro.graph import figure2_graph
 from repro.models import (
     LayerSpec,
     ModelConfig,

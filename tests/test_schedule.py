@@ -1,6 +1,5 @@
 """Unit tests for the event-driven PE schedule model."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
