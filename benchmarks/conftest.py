@@ -10,7 +10,10 @@ scan) use normal pytest-benchmark statistics.
 All shared state flows through the runtime :class:`~repro.runtime.Engine`
 (the same process-wide instance the experiment registry uses), so
 datasets and islandizations are computed once per session no matter how
-many bench modules touch them.
+many bench modules touch them.  Setting ``REPRO_CACHE_DIR`` gives that
+engine a persistent disk tier: a second benchmark session warm-starts
+from the stored datasets, islandizations and workloads instead of
+regenerating them.
 """
 
 from __future__ import annotations

@@ -9,10 +9,14 @@ Commands
               process-parallel) through the runtime Engine
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
+``cache``     inspect or clear the persistent artifact store
 
 All simulation goes through the runtime registry
 (``repro.runtime.get_simulator``); artifact caching and batching go
-through ``repro.runtime.Engine``.
+through ``repro.runtime.Engine``.  ``run``/``compare``/``sweep``/
+``experiments`` accept ``--cache-dir DIR`` (or the ``REPRO_CACHE_DIR``
+environment variable) to persist the engine's artifact caches on disk,
+so repeated invocations warm-start instead of re-islandizing.
 
 Examples
 --------
@@ -23,18 +27,22 @@ Examples
     python -m repro islandize --dataset citeseer --cmax 32
     python -m repro compare --dataset pubmed
     python -m repro sweep --datasets cora citeseer --platforms igcn awb
-    python -m repro sweep --datasets cora pubmed --parallel 4
+    python -m repro sweep --datasets cora pubmed --parallel 4 --cache-dir ~/.cache/repro
+    python -m repro sweep --datasets cora --format json --output rows.json
+    python -m repro cache stats
     python -m repro spy --dataset cora
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.errors import ReproError, SimulationError
-from repro.eval import render_table, spy
+from repro.eval import render_rows, render_table, spy
 from repro.eval.experiments import (
     experiment_fig9,
     experiment_fig10,
@@ -44,11 +52,15 @@ from repro.eval.experiments import (
     experiment_fig14,
     experiment_table1,
     experiment_table2,
+    shared_engine,
 )
+from repro.eval.tables import ROW_FORMATS
 from repro.graph import dataset_names, load_dataset
 from repro.models import build_model
 from repro.runtime import (
+    DiskStore,
     Engine,
+    default_cache_dir,
     get_simulator,
     resolve_name,
     simulator_aliases,
@@ -77,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="node-count multiplier (default: per-dataset)")
         p.add_argument("--seed", type=int, default=7)
 
+    def add_cache_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist artifact caches under DIR so later "
+                            "invocations warm-start (default: "
+                            "$REPRO_CACHE_DIR if set, else no disk cache)")
+
     # Accept aliases too, so platform names printed by compare/sweep
     # ("awb-gcn", ...) round-trip as input.
     platform_choices = simulator_names() + simulator_aliases()
@@ -93,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--functional", action="store_true",
                      help="execute real math and verify vs reference "
                           "(igcn only)")
+    add_cache_arg(run)
 
     isl = sub.add_parser("islandize", help="run only the Island Locator")
     add_dataset_args(isl)
@@ -103,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser("compare", help="cross-platform comparison")
     add_dataset_args(cmp_)
     cmp_.add_argument("--variant", choices=["algo", "hy"], default="algo")
+    add_cache_arg(cmp_)
 
     swp = sub.add_parser(
         "sweep", help="batched datasets x models x platforms sweep"
@@ -122,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seed", type=int, default=7)
     swp.add_argument("--parallel", type=int, default=0,
                      help="process-pool workers (0 = serial)")
+    swp.add_argument("--format", choices=list(ROW_FORMATS), default="table",
+                     help="row output format (default: table)")
+    swp.add_argument("--output", metavar="FILE", default=None,
+                     help="write formatted rows to FILE instead of stdout")
+    add_cache_arg(swp)
 
     spy_ = sub.add_parser("spy", help="ASCII spy plot, before/after")
     add_dataset_args(spy_)
@@ -134,7 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "fig13", "fig14"],
         default=None,
     )
+    add_cache_arg(exp)
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact store")
+    cache.add_argument("action", choices=["stats", "clear"],
+                       help="stats: per-kind entry counts and bytes; "
+                            "clear: delete every persisted artifact")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="store location (default: $REPRO_CACHE_DIR, "
+                            "else ~/.cache/repro)")
     return parser
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """--cache-dir flag, else REPRO_CACHE_DIR, else None (memory only)."""
+    return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def _cmd_run(args) -> int:
@@ -148,8 +187,11 @@ def _cmd_run(args) -> int:
             "--cmax/--preagg-k configure the I-GCN locator/consumer and "
             "only apply with --platform igcn"
         )
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
-                      with_features=args.functional)
+    # The engine supplies cached artifacts (datasets, islandizations);
+    # with --cache-dir they persist, so a repeated run warm-starts.
+    engine = Engine(cache_dir=_resolve_cache_dir(args))
+    ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed,
+                        with_features=args.functional)
     model_kwargs = {} if args.model == "gin" else {"variant": args.variant}
     model = build_model(args.model, ds.num_features, ds.num_classes,
                         **model_kwargs)
@@ -161,12 +203,13 @@ def _cmd_run(args) -> int:
         )
         report = sim.simulate(
             ds.graph, model, feature_density=ds.feature_density,
+            engine=engine,
             functional=args.functional,
             features=ds.features if args.functional else None,
         )
     else:
         report = get_simulator(platform).simulate(
-            ds.graph, model, feature_density=ds.feature_density
+            ds.graph, model, feature_density=ds.feature_density, engine=engine
         )
     title = ("I-GCN" if platform == "igcn" else report.platform)
     print(render_table([report.summary()], title=f"{title} on {ds.name}"))
@@ -210,7 +253,7 @@ def _cmd_islandize(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    engine = Engine()
+    engine = Engine(cache_dir=_resolve_cache_dir(args))
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed)
     model = build_model("gcn", ds.num_features, ds.num_classes,
                         variant=args.variant)
@@ -234,7 +277,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    engine = Engine()
+    engine = Engine(cache_dir=_resolve_cache_dir(args))
     rows = engine.sweep(
         args.datasets,
         args.platforms,
@@ -248,15 +291,46 @@ def _cmd_sweep(args) -> int:
         f"sweep: {len(args.datasets)} datasets x {len(args.models)} models "
         f"x {len(args.platforms)} platforms"
     )
-    print(render_table(rows, title=title))
-    if not args.parallel:
-        stats = engine.cache_stats()
-        print(
-            f"\ncache: islandizations computed "
-            f"{stats['islandization'].misses}, reused "
-            f"{stats['islandization'].hits}; datasets loaded "
-            f"{stats['dataset'].misses}"
-        )
+    text = render_rows(rows, args.format, title=title)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {len(rows)} rows to {args.output}")
+    else:
+        print(text)
+    # Worker deltas are folded back into the engine, so the counters are
+    # meaningful for parallel runs too.  Keep machine-readable stdout
+    # clean: the stats line moves to stderr for csv/json on stdout.
+    stats = engine.cache_stats()
+    stats_line = (
+        f"cache: islandizations computed {stats['islandization'].misses}, "
+        f"reused {stats['islandization'].hits}; datasets loaded "
+        f"{stats['dataset'].misses}; summary rows reused "
+        f"{stats['summary'].hits} of {stats['summary'].total}"
+    )
+    stream = sys.stderr if (args.format != "table" and not args.output) else sys.stdout
+    print(f"\n{stats_line}" if stream is sys.stdout else stats_line, file=stream)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    # default_cache_dir() already prefers $REPRO_CACHE_DIR when set.
+    store = DiskStore(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} artifacts from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"artifact store at {store.root}: empty")
+        return 0
+    rows = [
+        {"kind": kind, "entries": count, "mb": round(size / 1e6, 3)}
+        for kind, (count, size) in entries.items()
+    ]
+    total = sum(size for _, size in entries.values())
+    print(render_table(rows, title=f"artifact store at {store.root}"))
+    print(f"\ntotal: {sum(c for c, _ in entries.values())} artifacts, "
+          f"{total / 1e6:.3f} MB")
     return 0
 
 
@@ -274,6 +348,9 @@ def _cmd_spy(args) -> int:
 
 
 def _cmd_experiments(args) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is not None:
+        shared_engine(cache_dir)
     registry = {
         "table1": experiment_table1,
         "table2": experiment_table2,
@@ -305,10 +382,16 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "spy": _cmd_spy,
         "experiments": _cmd_experiments,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Filesystem trouble (unwritable --output, read-only cache dir)
+        # is an environment problem, not a bug: no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -15,14 +15,17 @@ Terminology follows the paper (§3.1):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import IO
 
 import numpy as np
 
 from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
+from repro.serialize import read_npz, write_npz
 
-__all__ = ["Island", "RoundStats", "LocatorWork", "IslandizationResult"]
+__all__ = ["Island", "RoundStats", "LocatorWork", "IslandizationResult", "ROUND_FIELDS"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,25 @@ class Island:
         """
         return np.concatenate([self.hubs, self.members])
 
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize one island (ids as metadata, arrays verbatim)."""
+        write_npz(
+            file,
+            {"members": self.members, "hubs": self.hubs},
+            {"format": 1, "island_id": int(self.island_id), "round_id": int(self.round_id)},
+        )
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "Island":
+        """Restore an island written by :meth:`to_npz`."""
+        arrays, meta = read_npz(file)
+        return cls(
+            island_id=int(meta["island_id"]),
+            round_id=int(meta["round_id"]),
+            members=arrays["members"],
+            hubs=arrays["hubs"],
+        )
+
 
 @dataclass(frozen=True)
 class RoundStats:
@@ -88,6 +110,27 @@ class RoundStats:
     adjacency_bytes: int
     detect_items: int              # degree entries swept by the hub detector
 
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize the per-round counters (all-integer metadata)."""
+        write_npz(file, {}, {"format": 1, "fields": self.as_row()})
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "RoundStats":
+        """Restore round statistics written by :meth:`to_npz`."""
+        _, meta = read_npz(file)
+        return cls(**{name: int(value) for name, value in meta["fields"].items()})
+
+    def as_row(self) -> dict[str, int]:
+        """Field-name → int mapping in declaration order."""
+        return {name: int(getattr(self, name)) for name in ROUND_FIELDS}
+
+
+#: RoundStats field names in declaration order — the column layout used
+#: when rounds are packed into one integer matrix for serialization.
+ROUND_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(RoundStats)
+)
+
 
 @dataclass(frozen=True)
 class LocatorWork:
@@ -98,6 +141,29 @@ class LocatorWork:
     total_detect_items: int
     total_bfs_scans: int          # neighbour entries scanned by TP-BFS engines
     per_engine_scans: np.ndarray  # work distribution across the P2 engines
+
+    def _totals(self) -> dict[str, int]:
+        return {
+            "total_adjacency_fetches": int(self.total_adjacency_fetches),
+            "total_adjacency_bytes": int(self.total_adjacency_bytes),
+            "total_detect_items": int(self.total_detect_items),
+            "total_bfs_scans": int(self.total_bfs_scans),
+        }
+
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize the totals + the per-engine work distribution."""
+        write_npz(
+            file,
+            {"per_engine_scans": self.per_engine_scans},
+            {"format": 1, "totals": self._totals()},
+        )
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "LocatorWork":
+        """Restore aggregate work written by :meth:`to_npz`."""
+        arrays, meta = read_npz(file)
+        totals = {name: int(value) for name, value in meta["totals"].items()}
+        return cls(per_engine_scans=arrays["per_engine_scans"], **totals)
 
 
 @dataclass
@@ -179,6 +245,103 @@ class IslandizationResult:
         perm = np.empty(self.graph.num_nodes, dtype=np.int64)
         perm[flat] = np.arange(self.graph.num_nodes, dtype=np.int64)
         return perm
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize the full result as one npz archive.
+
+        Variable-length island members/hubs are packed as flat arrays
+        plus CSR-style offsets; rounds become one ``(num_rounds,
+        len(ROUND_FIELDS))`` integer matrix whose column order is
+        recorded in the metadata (so the layout survives field
+        evolution).  All numpy payloads round-trip byte-identically,
+        which keeps the restored ``graph.fingerprint()`` — and with it
+        every downstream cache key — stable.
+        """
+        member_offsets = np.zeros(len(self.islands) + 1, dtype=np.int64)
+        hub_offsets = np.zeros(len(self.islands) + 1, dtype=np.int64)
+        for i, island in enumerate(self.islands):
+            member_offsets[i + 1] = member_offsets[i] + island.num_members
+            hub_offsets[i + 1] = hub_offsets[i] + island.num_hubs
+        empty = np.zeros(0, dtype=np.int64)
+        arrays = {
+            "graph_indptr": self.graph.indptr,
+            "graph_indices": self.graph.indices,
+            "hub_ids": self.hub_ids,
+            "hub_round": self.hub_round,
+            "interhub_edges": self.interhub_edges,
+            "island_ids": np.asarray(
+                [isl.island_id for isl in self.islands], dtype=np.int64
+            ),
+            "island_rounds": np.asarray(
+                [isl.round_id for isl in self.islands], dtype=np.int64
+            ),
+            "island_member_offsets": member_offsets,
+            "island_members_flat": (
+                np.concatenate([isl.members for isl in self.islands])
+                if self.islands else empty
+            ),
+            "island_hub_offsets": hub_offsets,
+            "island_hubs_flat": (
+                np.concatenate([isl.hubs for isl in self.islands])
+                if self.islands else empty
+            ),
+            "rounds": np.asarray(
+                [[row[name] for name in ROUND_FIELDS]
+                 for row in (r.as_row() for r in self.rounds)],
+                dtype=np.int64,
+            ).reshape(len(self.rounds), len(ROUND_FIELDS)),
+            "work_per_engine_scans": self.work.per_engine_scans,
+        }
+        meta = {
+            "format": 1,
+            "graph_name": self.graph.name,
+            "round_fields": list(ROUND_FIELDS),
+            "work_totals": self.work._totals(),
+        }
+        write_npz(file, arrays, meta)
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "IslandizationResult":
+        """Restore a result written by :meth:`to_npz`."""
+        arrays, meta = read_npz(file)
+        graph = CSRGraph(
+            indptr=arrays["graph_indptr"],
+            indices=arrays["graph_indices"],
+            name=str(meta["graph_name"]),
+        )
+        m_off, h_off = arrays["island_member_offsets"], arrays["island_hub_offsets"]
+        islands = [
+            Island(
+                island_id=int(island_id),
+                round_id=int(round_id),
+                members=arrays["island_members_flat"][m_off[i]:m_off[i + 1]],
+                hubs=arrays["island_hubs_flat"][h_off[i]:h_off[i + 1]],
+            )
+            for i, (island_id, round_id) in enumerate(
+                zip(arrays["island_ids"], arrays["island_rounds"])
+            )
+        ]
+        fields = [str(name) for name in meta["round_fields"]]
+        rounds = [
+            RoundStats(**{name: int(value) for name, value in zip(fields, row)})
+            for row in arrays["rounds"]
+        ]
+        work = LocatorWork(
+            per_engine_scans=arrays["work_per_engine_scans"],
+            **{name: int(value) for name, value in meta["work_totals"].items()},
+        )
+        return cls(
+            graph=graph,
+            islands=islands,
+            hub_ids=arrays["hub_ids"],
+            hub_round=arrays["hub_round"],
+            interhub_edges=arrays["interhub_edges"],
+            rounds=rounds,
+            work=work,
+        )
 
     # ------------------------------------------------------------------
     # Invariant checks

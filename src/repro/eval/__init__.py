@@ -16,7 +16,7 @@ from repro.eval.experiments import (
     experiment_table2,
 )
 from repro.eval.spyplot import density_grid, spy
-from repro.eval.tables import render_table
+from repro.eval.tables import render_csv, render_json, render_rows, render_table
 
 __all__ = [
     "ExperimentResult",
@@ -35,4 +35,7 @@ __all__ = [
     "spy",
     "density_grid",
     "render_table",
+    "render_csv",
+    "render_json",
+    "render_rows",
 ]

@@ -14,6 +14,7 @@ datasets or islandization for every figure.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -88,23 +89,38 @@ class ExperimentResult:
 # caching (datasets, islandizations, workloads, reports) lives there —
 # this module keeps no memoization of its own.
 # ----------------------------------------------------------------------
-_ENGINE = Engine()
+_ENGINE: Engine | None = None
 
 
-def shared_engine() -> Engine:
-    """The process-wide Engine the experiment registry runs on."""
+def shared_engine(cache_dir: str | None = None) -> Engine:
+    """The process-wide Engine the experiment registry runs on.
+
+    Created lazily on first use; when ``REPRO_CACHE_DIR`` is set (or
+    ``cache_dir`` is passed, e.g. from ``repro experiments
+    --cache-dir``) the engine runs memory-over-disk, so regenerating
+    the paper tables warm-starts from earlier runs.  Passing a
+    ``cache_dir`` different from the current engine's replaces the
+    engine (its memory tier starts cold; the disk tier is shared).
+    """
+    global _ENGINE
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        if _ENGINE is not None:
+            return _ENGINE
+    if _ENGINE is None or _ENGINE.cache_dir != cache_dir:
+        _ENGINE = Engine(cache_dir=cache_dir)
     return _ENGINE
 
 
 def _dataset(name: str):
-    return _ENGINE.dataset(name, seed=7)
+    return shared_engine().dataset(name, seed=7)
 
 
 def _report(name: str, platform: str, variant: str = "algo"):
     """Cached simulation of ``platform`` on dataset ``name``."""
     ds = _dataset(name)
     model = gcn_model(ds.num_features, ds.num_classes, variant=variant)
-    return _ENGINE.simulate(platform, ds, model)
+    return shared_engine().simulate(platform, ds, model)
 
 
 def _igcn_report(name: str, variant: str = "algo") -> IGCNReport:
@@ -318,7 +334,7 @@ def experiment_fig12(
                 continue  # not one of the paper's six
             result = get_reordering(reorder_name).run(ds.graph)
             reordered = result.apply(ds.graph)
-            awb = _ENGINE.simulate(
+            awb = shared_engine().simulate(
                 "awb", reordered, model, feature_density=ds.feature_density
             )
             reorder_us = result.seconds * 1e6

@@ -1,15 +1,31 @@
-"""Minimal ASCII table rendering for benchmark output.
+"""Row-dict rendering: ASCII tables, CSV, and JSON.
 
 The benchmark harness prints paper-style tables to stdout;
 :func:`render_table` turns a list of row dicts into a fixed-width
-table, with columns ordered by first appearance.
+table, with columns ordered by first appearance.  :func:`render_csv`
+and :func:`render_json` emit the same rows machine-readably (for
+``repro sweep --format``), and :func:`render_rows` dispatches on a
+format name.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, Mapping
 
-__all__ = ["render_table", "format_value"]
+__all__ = [
+    "render_table",
+    "render_csv",
+    "render_json",
+    "render_rows",
+    "format_value",
+    "ROW_FORMATS",
+]
+
+#: Formats understood by :func:`render_rows`.
+ROW_FORMATS = ("table", "csv", "json")
 
 
 def format_value(value: object) -> str:
@@ -38,11 +54,7 @@ def render_table(
     rows = list(rows)
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
-    columns: list[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
+    columns = _columns(rows)
     cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(line[i]) for line in cells))
@@ -57,3 +69,48 @@ def render_table(
     if title:
         out = f"\n=== {title} ===\n{out}"
     return out
+
+
+def _columns(rows: list[Mapping[str, object]]) -> list[str]:
+    """Column names in first-appearance order across all rows."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render rows as CSV (header + one line per row, raw values)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = _columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue().rstrip("\n")
+
+
+def render_json(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render rows as a JSON array of objects (raw values)."""
+    return json.dumps([dict(row) for row in rows], indent=2)
+
+
+def render_rows(
+    rows: Iterable[Mapping[str, object]],
+    fmt: str = "table",
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows in one of :data:`ROW_FORMATS` (title applies to table)."""
+    if fmt == "table":
+        return render_table(rows, title=title)
+    if fmt == "csv":
+        return render_csv(rows)
+    if fmt == "json":
+        return render_json(rows)
+    raise ValueError(f"unknown row format {fmt!r}; pick from {ROW_FORMATS}")

@@ -22,7 +22,9 @@ while preserving intensive properties; see DESIGN.md §4.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import IO
 
 import numpy as np
 
@@ -30,16 +32,23 @@ from repro.errors import DatasetError
 from repro.graph.builder import GraphBuilder
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import CommunityProfile, hub_island_graph
+from repro.serialize import read_npz, write_npz
 
 __all__ = [
     "DatasetSpec",
     "Dataset",
     "DATASETS",
+    "canonical_name",
     "dataset_names",
     "load_dataset",
     "figure2_graph",
     "figure7_island_graph",
 ]
+
+#: The paper's two-letter dataset codes, accepted everywhere a name is.
+DATASET_ALIASES = {
+    "cr": "cora", "cs": "citeseer", "pm": "pubmed", "ne": "nell", "rd": "reddit",
+}
 
 
 @dataclass(frozen=True)
@@ -263,6 +272,79 @@ class Dataset:
         labels[noise] = rng.integers(0, self.num_classes, size=int(noise.sum()))
         self.labels = labels.astype(np.int64)
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize the dataset (graph, community, optional features).
+
+        The full :class:`DatasetSpec` — community profile included — is
+        embedded in the metadata, so a restored dataset does not depend
+        on the loading process's registry contents.  All numpy payloads
+        (graph CSR, community labels, feature CSR) round-trip
+        byte-identically.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "graph_indptr": self.graph.indptr,
+            "graph_indices": self.graph.indices,
+            "community": self.community,
+        }
+        meta = {
+            "format": 1,
+            "graph_name": self.graph.name,
+            "scale": self.scale,
+            "spec": dataclasses.asdict(self.spec),
+        }
+        if self.labels is not None:
+            arrays["labels"] = self.labels
+        if self.features is not None:
+            feats = self.features.tocsr()
+            arrays["feat_data"] = feats.data
+            arrays["feat_indices"] = feats.indices
+            arrays["feat_indptr"] = feats.indptr
+            meta["feat_shape"] = [int(feats.shape[0]), int(feats.shape[1])]
+        write_npz(file, arrays, meta)
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "Dataset":
+        """Restore a dataset written by :meth:`to_npz`."""
+        arrays, meta = read_npz(file)
+        spec_fields = dict(meta["spec"])
+        profile = CommunityProfile(**spec_fields.pop("profile"))
+        spec = DatasetSpec(profile=profile, **spec_fields)
+        graph = CSRGraph(
+            indptr=arrays["graph_indptr"],
+            indices=arrays["graph_indices"],
+            name=str(meta["graph_name"]),
+        )
+        features = None
+        if "feat_shape" in meta:
+            from scipy.sparse import csr_matrix
+
+            features = csr_matrix(
+                (arrays["feat_data"], arrays["feat_indices"], arrays["feat_indptr"]),
+                shape=tuple(meta["feat_shape"]),
+            )
+        return cls(
+            spec=spec,
+            graph=graph,
+            scale=float(meta["scale"]),
+            community=arrays["community"],
+            features=features,
+            labels=arrays.get("labels"),
+        )
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a dataset name or paper code to its registry key."""
+    key = name.strip().lower()
+    key = DATASET_ALIASES.get(key, key)
+    if key not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    return key
+
 
 def dataset_names() -> list[str]:
     """Names of the registered datasets, in the paper's order."""
@@ -290,13 +372,7 @@ def load_dataset(
     with_features:
         Also materialise the sparse feature matrix and labels.
     """
-    key = name.strip().lower()
-    aliases = {"cr": "cora", "cs": "citeseer", "pm": "pubmed", "ne": "nell", "rd": "reddit"}
-    key = aliases.get(key, key)
-    if key not in DATASETS:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
-        )
+    key = canonical_name(name)
     spec = DATASETS[key]
     if scale is None:
         scale = spec.default_scale

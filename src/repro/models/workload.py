@@ -21,10 +21,13 @@ Conventions
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import IO
 
 from repro.graph.csr import CSRGraph
 from repro.models.configs import ModelConfig
+from repro.serialize import read_npz, write_npz
 
 __all__ = ["LayerWorkload", "Workload", "build_workload"]
 
@@ -83,6 +86,40 @@ class Workload:
         """Share of total ops spent in aggregation (paper: ~23 % avg)."""
         total = self.total_macs
         return self.aggregation_macs / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_npz(self, file: str | IO[bytes]) -> None:
+        """Serialize the workload (pure-integer metadata, no arrays)."""
+        write_npz(
+            file,
+            {},
+            {
+                "format": 1,
+                "graph_name": self.graph_name,
+                "model_name": self.model_name,
+                "num_nodes": int(self.num_nodes),
+                "adjacency_nnz": int(self.adjacency_nnz),
+                "layers": [dataclasses.asdict(layer) for layer in self.layers],
+            },
+        )
+
+    @classmethod
+    def from_npz(cls, file: str | IO[bytes]) -> "Workload":
+        """Restore a workload written by :meth:`to_npz`."""
+        _, meta = read_npz(file)
+        layers = tuple(
+            LayerWorkload(**{name: int(value) for name, value in layer.items()})
+            for layer in meta["layers"]
+        )
+        return cls(
+            graph_name=str(meta["graph_name"]),
+            model_name=str(meta["model_name"]),
+            num_nodes=int(meta["num_nodes"]),
+            adjacency_nnz=int(meta["adjacency_nnz"]),
+            layers=layers,
+        )
 
 
 def build_workload(

@@ -1,4 +1,4 @@
-"""Unified simulation runtime: registry, cached artifacts, sweeps.
+"""Unified simulation runtime: registry, tiered artifact store, sweeps.
 
 The runtime is the load-bearing layer every front-end (CLI, experiment
 registry, benchmarks, future serving paths) goes through:
@@ -8,9 +8,15 @@ registry, benchmarks, future serving paths) goes through:
   ``sigma``, ``push``, ``pull``, and the CPU/GPU framework models),
   each exposing ``simulate(graph, model, **opts) -> BaseReport``.
 * :class:`Engine` — memoizes datasets, self-loop-free graph copies,
-  islandizations and workloads, and exposes ``sweep(datasets ×
-  models × platforms)`` with optional process-parallel execution and
+  islandizations, workloads, reports and summary rows behind a
+  pluggable :class:`ArtifactStore` stack, and exposes ``sweep(datasets
+  × models × platforms)`` with optional process-parallel execution and
   deterministic row ordering.
+* :class:`MemoryStore` / :class:`DiskStore` / :class:`TieredStore` —
+  the store implementations: in-process dicts, a content-addressed
+  persistent cache (``--cache-dir`` / ``REPRO_CACHE_DIR``), and the
+  memory-over-disk stack the Engine composes them into so repeated
+  CLI invocations and parallel sweep workers warm-start.
 """
 
 from repro.report import SUMMARY_FIELDS, BaseReport
@@ -24,6 +30,16 @@ from repro.runtime.registry import (
     resolve_name,
     simulator_aliases,
     simulator_names,
+)
+from repro.runtime.store import (
+    ARTIFACT_KINDS,
+    MISS,
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    TieredStore,
+    build_store,
+    default_cache_dir,
 )
 
 __all__ = [
@@ -41,4 +57,12 @@ __all__ = [
     "resolve_name",
     "simulator_names",
     "simulator_aliases",
+    "ARTIFACT_KINDS",
+    "MISS",
+    "ArtifactStore",
+    "MemoryStore",
+    "DiskStore",
+    "TieredStore",
+    "build_store",
+    "default_cache_dir",
 ]

@@ -1,4 +1,4 @@
-"""The simulation Engine: cached artifacts and batched sweeps.
+"""The simulation Engine: tiered artifact caching and batched sweeps.
 
 The expensive parts of reproducing the paper's cross-platform tables
 are *shared* between cells: five datasets × many platforms × several
@@ -6,27 +6,33 @@ model variants all reuse the same dataset surrogates, the same
 self-loop-free graph copies, the same
 :class:`~repro.core.types.IslandizationResult` per (graph, locator
 config), and the same :class:`~repro.models.workload.Workload` per
-(graph, model).  Previously each caller kept its own ad-hoc
-``lru_cache`` state; :class:`Engine` centralises it behind explicit,
-inspectable caches (``engine.cache_stats()``) and layers a batched
-sweep API on top::
+(graph, model).  :class:`Engine` centralises that reuse behind a
+pluggable :class:`~repro.runtime.store.ArtifactStore` stack::
 
     from repro.runtime import Engine
 
-    engine = Engine()
+    engine = Engine()                          # in-memory store
+    engine = Engine(cache_dir="~/.cache/repro")  # memory over disk
+
     rows = engine.sweep(["cora", "citeseer"], ["igcn", "awb"])
     # deterministic dataset-major × model × platform row order
 
-``sweep(..., parallel=4)`` fans the per-(dataset, model) work units out
-over a ``concurrent.futures`` process pool; each worker re-derives the
-shared artifacts once for its unit, and the row order is identical to
-the serial path.
+Cache keys are *stable strings* — graph content fingerprints plus
+config digests (:func:`repro.serialize.config_digest`) — so artifacts
+persisted by the disk tier warm-start later processes: a second CLI
+invocation (or a sweep worker on another core) re-reads islandizations
+instead of recomputing them, mirroring the paper's
+compute-once/reuse-everywhere locality story at the tooling level.
+
+``sweep(..., parallel=4)`` fans per-(dataset, model) work units over a
+process pool; workers share the disk tier (when configured) and report
+their cache hit/miss deltas back, so ``engine.cache_stats()`` reflects
+parallel runs too.  Row order is identical to the serial path.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.config import LocatorConfig
@@ -34,29 +40,26 @@ from repro.core.islandizer import IslandLocator
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError, SimulationError
 from repro.graph.csr import CSRGraph
-from repro.graph.datasets import Dataset, load_dataset
+from repro.graph.datasets import DATASETS, Dataset, canonical_name, load_dataset
 from repro.models.configs import ModelConfig, build_model
 from repro.models.workload import Workload, build_workload
 from repro.report import BaseReport
 from repro.runtime.registry import get_simulator, resolve_name
+from repro.runtime.store import (
+    ARTIFACT_KINDS,
+    MISS,
+    ArtifactStore,
+    CacheStats,
+    DiskStore,
+    TieredStore,
+    build_store,
+)
+from repro.serialize import config_digest
 
 __all__ = ["CacheStats", "Engine", "graph_fingerprint", "sweep"]
 
-#: Artifact caches maintained by the Engine, in dependency order.
-_CACHE_NAMES = ("dataset", "clean_graph", "islandization", "workload", "report")
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters for one artifact cache."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def total(self) -> int:
-        """All lookups."""
-        return self.hits + self.misses
+#: Artifact kinds maintained by the Engine, in dependency order.
+_CACHE_NAMES = ARTIFACT_KINDS
 
 
 def graph_fingerprint(graph: CSRGraph) -> str:
@@ -98,41 +101,88 @@ class Engine:
         Default Island Locator configuration used for islandization
         artifacts (a simulator with a different locator config gets its
         own cache entries — the config is part of the key).
+    store:
+        Explicit :class:`~repro.runtime.store.ArtifactStore` stack.
+        Mutually exclusive with ``cache_dir``.
+    cache_dir:
+        Directory for a persistent disk tier; the engine then runs a
+        memory-over-disk :class:`~repro.runtime.store.TieredStore`, so
+        artifacts survive the process and are shared with parallel
+        sweep workers.  Default (``None``): in-memory only.
     """
 
-    def __init__(self, *, locator: LocatorConfig | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        locator: LocatorConfig | None = None,
+        store: ArtifactStore | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        if store is not None and cache_dir is not None:
+            raise ConfigError("pass either store= or cache_dir=, not both")
         self.locator_config = locator or LocatorConfig()
-        self._caches: dict[str, dict[Any, Any]] = {n: {} for n in _CACHE_NAMES}
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.store = store if store is not None else build_store(self.cache_dir)
         self._stats: dict[str, CacheStats] = {n: CacheStats() for n in _CACHE_NAMES}
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
-    def _memo(self, cache: str, key: Any, compute) -> Any:
-        store = self._caches[cache]
-        stats = self._stats[cache]
-        if key in store:
-            stats.hits += 1
-            return store[key]
-        stats.misses += 1
+    def _memo(self, kind: str, key: str, compute) -> Any:
+        """Route one artifact lookup through the store stack.
+
+        A hit in *any* tier counts as an engine-level hit; a miss means
+        ``compute()`` actually ran (and its result was written through
+        to every tier handling the kind).
+        """
+        value = self.store.get(kind, key)
+        if value is not MISS:
+            self._stats[kind].hits += 1
+            return value
+        self._stats[kind].misses += 1
         value = compute()
-        store[key] = value
+        self.store.put(kind, key, value)
         return value
 
     def cache_stats(self) -> dict[str, CacheStats]:
-        """Hit/miss counters per artifact cache (a live view)."""
+        """Engine-level hit/miss counters per artifact kind (live view).
+
+        Hits count lookups satisfied by any tier (memory or disk);
+        misses count artifacts actually computed.  Per-tier counters
+        are available from :meth:`tier_stats`.
+        """
         return dict(self._stats)
 
-    def clear(self) -> None:
-        """Drop every cached artifact and reset the counters.
+    def tier_stats(self) -> dict[str, dict[str, CacheStats]]:
+        """Per-tier, per-kind lookup counters from the store stack."""
+        return self.store.stats()
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop cached artifacts and reset the counters.
+
+        By default only non-persistent tiers are cleared (the seed
+        behaviour: reset this process's memoization).  The disk tier
+        may be shared with concurrent workers, other invocations or
+        other hosts, so destroying it requires ``disk=True`` (the CLI
+        equivalent is ``repro cache clear``).
 
         The :class:`CacheStats` objects are reset in place so views
         previously returned by :meth:`cache_stats` stay live.
         """
+        tiers = self.store.tiers if isinstance(self.store, TieredStore) else (self.store,)
+        for tier in tiers:
+            if disk or not tier.persistent:
+                tier.clear()
         for name in _CACHE_NAMES:
-            self._caches[name].clear()
             self._stats[name].hits = 0
             self._stats[name].misses = 0
+
+    def _merge_stats(self, delta: dict[str, tuple[int, int]]) -> None:
+        """Fold a worker's (hits, misses) deltas into this engine's stats."""
+        for kind, (hits, misses) in delta.items():
+            stats = self._stats.setdefault(kind, CacheStats())
+            stats.hits += hits
+            stats.misses += misses
 
     # ------------------------------------------------------------------
     # Cached artifacts
@@ -145,13 +195,27 @@ class Engine:
         seed: int = 7,
         with_features: bool = False,
     ) -> Dataset:
-        """Cached :func:`repro.graph.load_dataset`."""
-        key = (name, scale, seed, with_features)
+        """Cached :func:`repro.graph.load_dataset`.
+
+        The key canonicalises the name (paper codes included) and
+        resolves ``scale=None`` to the per-dataset default, so
+        ``dataset("cr")`` and ``dataset("cora", scale=1.0)`` share one
+        entry — in memory and on disk.
+        """
+        canonical = canonical_name(name)
+        effective_scale = (
+            scale if scale is not None else DATASETS[canonical].default_scale
+        )
+        key = (
+            f"{canonical}|scale={float(effective_scale)!r}|seed={seed}"
+            f"|features={int(bool(with_features))}"
+        )
         return self._memo(
             "dataset",
             key,
             lambda: load_dataset(
-                name, scale=scale, seed=seed, with_features=with_features
+                canonical, scale=effective_scale, seed=seed,
+                with_features=with_features,
             ),
         )
 
@@ -166,11 +230,14 @@ class Engine:
         """Cached Island Locator result for (graph, locator config).
 
         ``graph`` may still carry self-loops; the cached clean copy is
-        islandized, mirroring ``IGCNAccelerator.islandize``.
+        islandized, mirroring ``IGCNAccelerator.islandize``.  The key
+        is the clean graph's fingerprint + the locator config digest,
+        so engines with different configs sharing one disk tier never
+        collide.
         """
         config = config or self.locator_config
         clean = self.clean_graph(graph)
-        key = (graph_fingerprint(clean), config)
+        key = f"{graph_fingerprint(clean)}|loc={config_digest(config)}"
         return self._memo(
             "islandization", key, lambda: IslandLocator(config).run(clean)
         )
@@ -179,7 +246,10 @@ class Engine:
         self, graph: CSRGraph, model: ModelConfig, *, feature_density: float = 1.0
     ) -> Workload:
         """Cached operation-count workload for (graph, model, density)."""
-        key = (graph_fingerprint(graph), model, feature_density)
+        key = (
+            f"{graph_fingerprint(graph)}|model={config_digest(model)}"
+            f"|fd={float(feature_density)!r}"
+        )
         return self._memo(
             "workload",
             key,
@@ -189,6 +259,49 @@ class Engine:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def _resolve_cell(
+        self, data: Dataset | CSRGraph, model: ModelConfig | None,
+        feature_density: float | None,
+    ) -> tuple[CSRGraph, ModelConfig, float]:
+        """Shared (graph, model, density) resolution for one sweep cell."""
+        ds = data if isinstance(data, Dataset) else None
+        graph = ds.graph if ds is not None else data
+        if model is None:
+            if ds is None:
+                raise SimulationError(
+                    "simulate() needs an explicit model when given a raw graph"
+                )
+            model = _model_for(ds, "gcn")
+        if feature_density is None:
+            feature_density = ds.feature_density if ds is not None else 1.0
+        return graph, model, feature_density
+
+    def _cell_key(
+        self, platform: str, graph: CSRGraph, model: ModelConfig,
+        feature_density: float,
+    ) -> str:
+        """Stable cache key of one (platform, graph, model, density) cell.
+
+        For platforms that consume islandizations (``uses_locator``,
+        currently igcn — unknown simulator classes are treated as
+        locator-dependent to be safe) the key includes the engine's
+        effective locator config digest: two engines with different
+        :class:`LocatorConfig` values sharing a disk tier must not
+        serve each other's reports/summaries.  Locator-independent
+        baselines omit it, so their cached rows are shared across
+        locator settings instead of being pointlessly recomputed.
+        """
+        name = resolve_name(platform)
+        parts = [
+            name,
+            graph_fingerprint(graph),
+            f"model={config_digest(model)}",
+            f"fd={float(feature_density)!r}",
+        ]
+        if getattr(get_simulator(name), "uses_locator", True):
+            parts.append(f"loc={config_digest(self.locator_config)}")
+        return "|".join(parts)
+
     def simulate(
         self,
         platform: str,
@@ -203,28 +316,49 @@ class Engine:
         When ``data`` is a :class:`Dataset`, the model defaults to the
         paper's 2-layer GCN at the dataset's dimensions and
         ``feature_density`` to the published value.  Reports of
-        option-free runs are cached, so experiments sharing a cell get
-        the same object back.
+        option-free runs are cached (live objects, memory tiers only —
+        the serialized cross-process artifact is the *summary*, see
+        :meth:`summary`).
         """
-        ds = data if isinstance(data, Dataset) else None
-        graph = ds.graph if ds is not None else data
-        if model is None:
-            if ds is None:
-                raise SimulationError(
-                    "simulate() needs an explicit model when given a raw graph"
-                )
-            model = _model_for(ds, "gcn")
-        if feature_density is None:
-            feature_density = ds.feature_density if ds is not None else 1.0
-
-        key = (resolve_name(platform), graph_fingerprint(graph), model, feature_density)
+        graph, model, feature_density = self._resolve_cell(
+            data, model, feature_density
+        )
         if opts:
             # Functional runs etc. carry unhashable payloads: bypass the
             # report cache entirely (no stats — this is not a lookup).
             return self._run(platform, graph, model, feature_density, opts)
+        key = self._cell_key(platform, graph, model, feature_density)
         return self._memo(
             "report", key, lambda: self._run(platform, graph, model, feature_density, {})
         )
+
+    def summary(
+        self,
+        platform: str,
+        data: Dataset | CSRGraph,
+        model: ModelConfig | None = None,
+        *,
+        feature_density: float | None = None,
+    ) -> dict[str, object]:
+        """Cached shared-schema summary row of one cell.
+
+        Unlike live reports, summary rows are JSON-serializable and
+        persist through the disk tier — a warm-started sweep reads them
+        back without simulating (or islandizing) anything.  Returns a
+        fresh dict copy so callers can annotate rows freely.
+        """
+        graph, model, feature_density = self._resolve_cell(
+            data, model, feature_density
+        )
+        key = self._cell_key(platform, graph, model, feature_density)
+        row = self._memo(
+            "summary",
+            key,
+            lambda: self.simulate(
+                platform, data, model, feature_density=feature_density
+            ).base_summary(),
+        )
+        return dict(row)
 
     def _run(
         self,
@@ -258,16 +392,23 @@ class Engine:
         Returns one shared-schema summary row (see
         :data:`repro.report.SUMMARY_FIELDS`) per cell, ordered
         dataset-major, then model, then platform — deterministically,
-        whether serial or parallel.
+        whether serial or parallel, cold or warm-started from disk.
 
         ``parallel`` — ``None``/``0``/``False`` runs serially in this
         process (sharing this engine's caches across all cells);
         ``True`` or a worker count fans the (dataset, model) units out
-        over a process pool.  Rows are identical either way.
+        over a process pool.  Workers share this engine's disk tier
+        (when ``cache_dir`` is configured) and their cache hit/miss
+        deltas are folded back into :meth:`cache_stats`.  Rows are
+        identical either way.
         """
         platforms = [resolve_name(p) for p in platforms]
+        worker_cache_dir = self._worker_cache_dir()
         jobs = [
-            (name, scale, seed, spec, variant, tuple(platforms), self.locator_config)
+            (
+                name, scale, seed, spec, variant, tuple(platforms),
+                self.locator_config, worker_cache_dir,
+            )
             for name in datasets
             for spec in models
         ]
@@ -283,32 +424,70 @@ class Engine:
             )
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             chunks = list(pool.map(_sweep_worker, jobs))
-        return [row for chunk in chunks for row in chunk]
+        rows = []
+        for chunk, delta in chunks:
+            rows.extend(chunk)
+            self._merge_stats(delta)
+        return rows
 
     def _sweep_unit(self, job: tuple) -> list[dict[str, object]]:
         """All platform rows of one (dataset, model) sweep cell."""
-        name, scale, seed, spec, variant, platforms, _locator = job
+        name, scale, seed, spec, variant, platforms, _locator, _cache_dir = job
         ds = self.dataset(name, scale=scale, seed=seed)
         model = _model_for(ds, spec, variant)
-        return [
-            self.simulate(platform, ds, model).base_summary()
-            for platform in platforms
-        ]
+        return [self.summary(platform, ds, model) for platform in platforms]
+
+    def _worker_cache_dir(self) -> str | None:
+        """Disk-tier directory sweep workers should attach to.
+
+        An engine built with ``cache_dir=`` forwards it directly; one
+        built with an explicit ``store=`` stack forwards the root of
+        its first :class:`DiskStore` tier (if any), so workers still
+        share the persistent tier.  Stores without a recognisable disk
+        tier make the workers run memory-only.
+        """
+        if self.cache_dir is not None:
+            return self.cache_dir
+        tiers = self.store.tiers if isinstance(self.store, TieredStore) else (self.store,)
+        for tier in tiers:
+            if isinstance(tier, DiskStore):
+                return str(tier.root)
+        return None
+
+    def _stats_snapshot(self) -> dict[str, tuple[int, int]]:
+        return {kind: (s.hits, s.misses) for kind, s in self._stats.items()}
 
 
-#: Per-worker-process engines, keyed by locator config, so sweep units
-#: that land in the same pool worker share datasets and islandizations
-#: just like the serial path does.
-_WORKER_ENGINES: dict[LocatorConfig, Engine] = {}
+#: Per-worker-process engines, keyed by (locator config, cache dir), so
+#: sweep units that land in the same pool worker share datasets and
+#: islandizations just like the serial path does — and, with a cache
+#: dir, share the persistent disk tier with every other worker.
+_WORKER_ENGINES: dict[tuple[LocatorConfig, str | None], Engine] = {}
 
 
-def _sweep_worker(job: tuple) -> list[dict[str, object]]:
-    """Process-pool entry: run one sweep unit in this worker's engine."""
-    locator = job[-1]
-    engine = _WORKER_ENGINES.get(locator)
+def _sweep_worker(
+    job: tuple,
+) -> tuple[list[dict[str, object]], dict[str, tuple[int, int]]]:
+    """Process-pool entry: run one sweep unit in this worker's engine.
+
+    Returns the unit's rows plus the engine's cache-stats *delta* for
+    the unit, so the coordinating engine can aggregate hit/miss
+    counters across workers.
+    """
+    locator, cache_dir = job[-2], job[-1]
+    engine = _WORKER_ENGINES.get((locator, cache_dir))
     if engine is None:
-        engine = _WORKER_ENGINES.setdefault(locator, Engine(locator=locator))
-    return engine._sweep_unit(job)
+        engine = _WORKER_ENGINES.setdefault(
+            (locator, cache_dir), Engine(locator=locator, cache_dir=cache_dir)
+        )
+    before = engine._stats_snapshot()
+    rows = engine._sweep_unit(job)
+    after = engine._stats_snapshot()
+    delta = {
+        kind: (hits - before.get(kind, (0, 0))[0], misses - before.get(kind, (0, 0))[1])
+        for kind, (hits, misses) in after.items()
+    }
+    return rows, delta
 
 
 def sweep(

@@ -80,6 +80,10 @@ class IGCNSimulator:
 
     name = "igcn"
 
+    #: This simulator consumes Engine islandizations, so its cached
+    #: reports/summaries must be keyed by the effective LocatorConfig.
+    uses_locator = True
+
     def __init__(
         self,
         hw: HardwareConfig | None = None,
@@ -134,6 +138,11 @@ class WrappedSimulator:
     when an ``engine`` is supplied, the operation-count workload is
     served from the engine's cache.
     """
+
+    #: Baseline models never islandize: their results are independent
+    #: of the engine's LocatorConfig, so cache keys omit it (no
+    #: spurious re-simulation across engines with different locators).
+    uses_locator = False
 
     def __init__(self, name: str, model: Any) -> None:
         self.name = name

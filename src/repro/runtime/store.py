@@ -1,0 +1,383 @@
+"""Pluggable artifact stores: memory, content-addressed disk, tiers.
+
+The Engine's caches are backed by an :class:`ArtifactStore` — a plain
+``(kind, key) → artifact`` mapping with three implementations:
+
+* :class:`MemoryStore` — per-process dicts; holds live Python objects
+  (this is the seed Engine's behaviour, now behind the protocol).
+* :class:`DiskStore` — content-addressed files under a cache directory
+  (``~/.cache/repro`` by default, or ``REPRO_CACHE_DIR`` /
+  ``--cache-dir``).  Artifact kinds with a stable serialization
+  (datasets, clean graphs, islandizations, workloads → npz; report
+  summaries → JSON) persist across processes and hosts; kinds without
+  one (live report objects) are simply not handled by the tier.
+* :class:`TieredStore` — a memory-over-disk stack: reads walk the
+  tiers in order and *promote* lower-tier hits upward, writes go to
+  every tier that handles the kind.
+
+Keys are stable strings (graph fingerprints + config digests — see
+``repro.runtime.engine``), so a disk tier populated by one process —
+or one parallel sweep worker — warm-starts every later one.  Filenames
+are a blake2b digest of ``kind + key``; writes are atomic
+(tmp-file + ``os.replace``), which makes a shared disk tier safe under
+concurrent sweep workers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, IO
+
+from repro.core.types import IslandizationResult
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import Dataset
+from repro.models.workload import Workload
+
+__all__ = [
+    "MISS",
+    "ARTIFACT_KINDS",
+    "CacheStats",
+    "ArtifactStore",
+    "MemoryStore",
+    "DiskStore",
+    "TieredStore",
+    "default_cache_dir",
+    "build_store",
+]
+
+#: Sentinel returned by ``get`` when an artifact is absent.
+MISS = object()
+
+#: Artifact kinds the Engine routes through the store, in dependency
+#: order.  "report" holds live report objects (memory tiers only);
+#: "summary" holds their JSON-able shared-schema rows (disk-cacheable).
+ARTIFACT_KINDS = (
+    "dataset", "clean_graph", "islandization", "workload", "report", "summary",
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one artifact kind (at one tier or overall)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        """All lookups."""
+        return self.hits + self.misses
+
+
+class ArtifactStore:
+    """Abstract ``(kind, key) → artifact`` mapping.
+
+    ``kind`` is one of :data:`ARTIFACT_KINDS`; ``key`` is a stable
+    string.  Implementations keep per-kind :class:`CacheStats` for
+    every ``get`` on a kind they handle.
+    """
+
+    #: Tier label used in stats reporting.
+    name = "store"
+
+    #: True for tiers whose contents outlive the process and may be
+    #: shared with other processes/hosts — ``Engine.clear()`` spares
+    #: them unless explicitly asked.
+    persistent = False
+
+    def __init__(self) -> None:
+        self._stats: dict[str, CacheStats] = {}
+
+    def handles(self, kind: str) -> bool:
+        """Whether this store can hold artifacts of ``kind``."""
+        return True
+
+    def get(self, kind: str, key: str) -> Any:
+        """The stored artifact, or :data:`MISS`."""
+        raise NotImplementedError
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Store ``value`` (a no-op for unhandled kinds)."""
+        raise NotImplementedError
+
+    def clear(self, kind: str | None = None) -> None:
+        """Drop every artifact (of ``kind``, or all kinds)."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, dict[str, CacheStats]]:
+        """Per-tier, per-kind lookup counters: ``{tier: {kind: stats}}``."""
+        return {self.name: dict(self._stats)}
+
+    def _record(self, kind: str, *, hit: bool) -> None:
+        stats = self._stats.setdefault(kind, CacheStats())
+        if hit:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+
+
+class MemoryStore(ArtifactStore):
+    """In-process store holding live Python objects (no serialization)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: dict[str, dict[str, Any]] = {}
+
+    def get(self, kind: str, key: str) -> Any:
+        bucket = self._data.get(kind)
+        if bucket is not None and key in bucket:
+            self._record(kind, hit=True)
+            return bucket[key]
+        self._record(kind, hit=False)
+        return MISS
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        self._data.setdefault(kind, {})[key] = value
+
+    def clear(self, kind: str | None = None) -> None:
+        if kind is None:
+            self._data.clear()
+        else:
+            self._data.pop(kind, None)
+
+    def entries(self) -> dict[str, int]:
+        """Artifact count per kind (for inspection)."""
+        return {kind: len(bucket) for kind, bucket in self._data.items() if bucket}
+
+
+# ----------------------------------------------------------------------
+# Disk store
+# ----------------------------------------------------------------------
+def _npz_codec(cls) -> tuple[str, Callable, Callable]:
+    return (
+        ".npz",
+        lambda value, fh: value.to_npz(fh),
+        lambda fh: cls.from_npz(fh),
+    )
+
+
+def _json_encode(value: Any, fh: IO[bytes]) -> None:
+    fh.write(json.dumps(value, sort_keys=False).encode())
+
+
+def _json_decode(fh: IO[bytes]) -> Any:
+    return json.loads(fh.read().decode())
+
+
+class DiskStore(ArtifactStore):
+    """Content-addressed on-disk store under one root directory.
+
+    Layout: ``<root>/<kind>/<blake2b(kind + key)>.{npz,json}``.  Writes
+    are atomic (same-directory tmp file + ``os.replace``); unreadable
+    or truncated files are treated as misses and deleted, so a corrupt
+    cache degrades to a cold one instead of failing the run.
+    """
+
+    name = "disk"
+    persistent = True
+
+    #: Key-space version, folded into every filename digest.  Bump it
+    #: whenever artifact *semantics* change without the cache key
+    #: changing (locator algorithm tweaks, cost-model fixes, codec
+    #: layout changes): old files then miss instead of silently serving
+    #: results computed by previous code.
+    VERSION = 1
+
+    #: kind → (extension, encode(value, fh), decode(fh)).
+    CODECS: dict[str, tuple[str, Callable, Callable]] = {
+        "dataset": _npz_codec(Dataset),
+        "clean_graph": _npz_codec(CSRGraph),
+        "islandization": _npz_codec(IslandizationResult),
+        "workload": _npz_codec(Workload),
+        "summary": (".json", _json_encode, _json_decode),
+    }
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__()
+        # The directory is created lazily by put() so read-only paths
+        # (cache stats, a warm get on a cold machine) have no side
+        # effects — a typo'd --cache-dir stays visibly absent.
+        self.root = Path(root).expanduser()
+
+    def handles(self, kind: str) -> bool:
+        return kind in self.CODECS
+
+    def _path(self, kind: str, key: str) -> Path:
+        ext = self.CODECS[kind][0]
+        digest = hashlib.blake2b(
+            f"v{self.VERSION}\x00{kind}\x00{key}".encode(), digest_size=16
+        ).hexdigest()
+        return self.root / kind / f"{digest}{ext}"
+
+    def get(self, kind: str, key: str) -> Any:
+        if not self.handles(kind):
+            return MISS
+        path = self._path(kind, key)
+        if not path.exists():
+            self._record(kind, hit=False)
+            return MISS
+        decode = self.CODECS[kind][2]
+        try:
+            with open(path, "rb") as fh:
+                value = decode(fh)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self._record(kind, hit=False)
+            return MISS
+        self._record(kind, hit=True)
+        return value
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        if not self.handles(kind):
+            return
+        path = self._path(kind, key)
+        # A concurrent clear() may rmtree the kind directory between
+        # our mkdir and the final rename; the second attempt re-creates
+        # it.  Losing the race twice forfeits only this cache entry —
+        # the computed artifact itself is already in the caller's hands.
+        for attempt in (0, 1):
+            try:
+                self._write(kind, path, value)
+                return
+            except FileNotFoundError:
+                if attempt:
+                    return
+
+    def _write(self, kind: str, path: Path, value: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        encode = self.CODECS[kind][1]
+        # The ".tmp-" prefix keeps half-written files (e.g. a worker
+        # killed mid-put) out of entries()/clear() accounting.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=path.suffix
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                encode(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _artifact_files(directory: Path) -> list[Path]:
+        """Completed artifact files in one kind directory (no tmp debris)."""
+        return [
+            p for p in directory.iterdir()
+            if p.is_file() and not p.name.startswith(".tmp-")
+        ]
+
+    def clear(self, kind: str | None = None) -> int:
+        """Delete cached files; returns how many artifacts were removed.
+
+        Orphaned tmp files are deleted too (the whole kind directory
+        goes), but only completed artifacts are counted.
+        """
+        kinds = [kind] if kind is not None else list(self.CODECS)
+        removed = 0
+        for name in kinds:
+            directory = self.root / name
+            if directory.is_dir():
+                removed += len(self._artifact_files(directory))
+                shutil.rmtree(directory)
+        return removed
+
+    def entries(self) -> dict[str, tuple[int, int]]:
+        """Per-kind (artifact count, total bytes) currently on disk."""
+        out: dict[str, tuple[int, int]] = {}
+        for kind in self.CODECS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            files = self._artifact_files(directory)
+            if files:
+                out[kind] = (len(files), sum(p.stat().st_size for p in files))
+        return out
+
+
+class TieredStore(ArtifactStore):
+    """A stack of stores: reads promote upward, writes go everywhere.
+
+    ``get`` consults tiers in order and copies a lower-tier hit into
+    every faster tier above it (so one disk read seeds the memory tier
+    for the rest of the process).  ``put`` writes through to every
+    tier handling the kind.
+    """
+
+    name = "tiered"
+
+    def __init__(self, *tiers: ArtifactStore) -> None:
+        super().__init__()
+        if not tiers:
+            raise ConfigError("TieredStore needs at least one tier")
+        self.tiers = tuple(tiers)
+
+    def handles(self, kind: str) -> bool:
+        return any(tier.handles(kind) for tier in self.tiers)
+
+    def get(self, kind: str, key: str) -> Any:
+        for i, tier in enumerate(self.tiers):
+            if not tier.handles(kind):
+                continue
+            value = tier.get(kind, key)
+            if value is not MISS:
+                for upper in self.tiers[:i]:
+                    if upper.handles(kind):
+                        upper.put(kind, key, value)
+                return value
+        return MISS
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        for tier in self.tiers:
+            if tier.handles(kind):
+                tier.put(kind, key, value)
+
+    def clear(self, kind: str | None = None) -> None:
+        for tier in self.tiers:
+            tier.clear(kind)
+
+    def stats(self) -> dict[str, dict[str, CacheStats]]:
+        merged: dict[str, dict[str, CacheStats]] = {}
+        for tier in self.tiers:
+            for name, kinds in tier.stats().items():
+                # Stacks may repeat a tier type (two DiskStores, say);
+                # suffix duplicates so no tier's counters are dropped.
+                label, n = name, 2
+                while label in merged:
+                    label = f"{name}{n}"
+                    n += 1
+                merged[label] = kinds
+        return merged
+
+
+def default_cache_dir() -> str:
+    """The conventional disk-store location.
+
+    ``REPRO_CACHE_DIR`` wins when set; otherwise ``~/.cache/repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def build_store(cache_dir: str | Path | None = None) -> ArtifactStore:
+    """The Engine's default store stack.
+
+    Without ``cache_dir``: a bare :class:`MemoryStore` (the seed
+    behaviour — nothing touches disk).  With one: memory over disk.
+    """
+    if cache_dir is None:
+        return MemoryStore()
+    return TieredStore(MemoryStore(), DiskStore(cache_dir))

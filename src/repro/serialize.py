@@ -1,0 +1,100 @@
+"""Stable npz-based serialization shared by every artifact type.
+
+Every artifact the runtime may persist (graphs, islandizations,
+datasets, workloads) serializes through the same scheme: a flat dict of
+numpy arrays plus one JSON metadata record, written as a single
+``.npz`` file.  Arrays are stored uncompressed and verbatim, so a
+round-trip is **byte-identical** on every numpy payload (dtype, shape
+and raw bytes are all preserved) — the property the disk artifact
+store's tests pin down.
+
+The metadata record travels inside the archive under :data:`META_KEY`
+as a ``uint8`` view of its canonical JSON encoding, which keeps the
+file a plain ``numpy.savez`` archive (no pickling, loadable with
+``allow_pickle=False``).
+
+:func:`config_digest` is the companion for cache *keys*: a short stable
+digest of any (nested) frozen config dataclass, used to turn
+``LocatorConfig``/``ModelConfig`` values into string cache keys instead
+of relying on object identity or Python hashing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from functools import lru_cache
+from typing import IO, Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["META_KEY", "SerializationError", "write_npz", "read_npz", "config_digest"]
+
+#: Archive member holding the JSON metadata record.
+META_KEY = "__meta__"
+
+
+class SerializationError(ReproError):
+    """An artifact file could not be written or read back."""
+
+
+def write_npz(
+    file: str | IO[bytes],
+    arrays: dict[str, np.ndarray],
+    meta: dict[str, Any],
+) -> None:
+    """Write ``arrays`` + one JSON ``meta`` record as an npz archive.
+
+    ``file`` may be a path or a binary file object.  Paths are written
+    exactly as given (``numpy.savez`` would silently append ``.npz`` to
+    an extensionless path, breaking the :func:`read_npz` round-trip).
+    Array names must not collide with :data:`META_KEY`; metadata must
+    be JSON-encodable.
+    """
+    if META_KEY in arrays:
+        raise SerializationError(f"array name {META_KEY!r} is reserved for metadata")
+    payload: dict[str, np.ndarray] = {}
+    for name, arr in arrays.items():
+        payload[name] = np.asarray(arr)
+    blob = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode()
+    payload[META_KEY] = np.frombuffer(blob, dtype=np.uint8)
+    if isinstance(file, (str, os.PathLike)):
+        with open(file, "wb") as fh:
+            np.savez(fh, **payload)
+    else:
+        np.savez(file, **payload)
+
+
+def read_npz(file: str | IO[bytes]) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load an archive written by :func:`write_npz` → (arrays, meta)."""
+    with np.load(file, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files if name != META_KEY}
+        if META_KEY in archive.files:
+            meta = json.loads(archive[META_KEY].tobytes().decode())
+        else:
+            meta = {}
+    return arrays, meta
+
+
+@lru_cache(maxsize=None)
+def config_digest(config: Any) -> str:
+    """Short stable digest of a frozen config dataclass.
+
+    The digest is computed over the canonical JSON encoding of the
+    dataclass's field values (nested dataclasses included), so it is
+    stable across processes and hosts — unlike ``hash()`` — and two
+    configs digest equal iff their fields are equal.  Results are
+    memoized per config value (configs are hashable frozen dataclasses).
+    """
+    if not dataclasses.is_dataclass(config):
+        raise SerializationError(
+            f"config_digest needs a dataclass instance, got {type(config).__name__}"
+        )
+    blob = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
