@@ -7,6 +7,8 @@ Commands
 ``compare``   cross-platform comparison on one dataset
 ``sweep``     batched datasets × models × platforms sweep (optionally
               process-parallel) through the runtime Engine
+``bench``     locator scaling benchmark (scalar vs batched backend);
+              writes BENCH_locator.json
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
 ``cache``     inspect or clear the persistent artifact store
@@ -40,9 +42,12 @@ import os
 import sys
 from pathlib import Path
 
+import json
+
 from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
+from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
 from repro.eval.experiments import (
     experiment_fig9,
     experiment_fig10,
@@ -95,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "invocations warm-start (default: "
                             "$REPRO_CACHE_DIR if set, else no disk cache)")
 
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--locator-backend", choices=["batched", "scalar"],
+                       default="batched",
+                       help="TP-BFS implementation: the vectorized batched "
+                            "kernel (default) or the scalar oracle loop; "
+                            "results are identical, only speed differs")
+
     # Accept aliases too, so platform names printed by compare/sweep
     # ("awb-gcn", ...) round-trip as input.
     platform_choices = simulator_names() + simulator_aliases()
@@ -112,17 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execute real math and verify vs reference "
                           "(igcn only)")
     add_cache_arg(run)
+    add_backend_arg(run)
 
     isl = sub.add_parser("islandize", help="run only the Island Locator")
     add_dataset_args(isl)
     isl.add_argument("--cmax", type=int, default=64)
     isl.add_argument("--th0", type=int, default=None)
     isl.add_argument("--decay", type=float, default=0.5)
+    add_backend_arg(isl)
 
     cmp_ = sub.add_parser("compare", help="cross-platform comparison")
     add_dataset_args(cmp_)
     cmp_.add_argument("--variant", choices=["algo", "hy"], default="algo")
     add_cache_arg(cmp_)
+    add_backend_arg(cmp_)
 
     swp = sub.add_parser(
         "sweep", help="batched datasets x models x platforms sweep"
@@ -147,6 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--output", metavar="FILE", default=None,
                      help="write formatted rows to FILE instead of stdout")
     add_cache_arg(swp)
+    add_backend_arg(swp)
+
+    bench = sub.add_parser(
+        "bench", help="performance benchmarks (scalar vs batched locator)"
+    )
+    bench.add_argument("suite", choices=["locator"],
+                       help="benchmark suite to run")
+    bench.add_argument("--tiers", nargs="+", choices=list(BENCH_TIERS),
+                       default=list(BENCH_TIERS),
+                       help="graph-scale tiers by undirected edge count "
+                            "(default: all)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of repeats for the batched backend")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--cmax", type=int, default=64)
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the backend-equivalence check per tier")
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="JSON record destination (default: "
+                            "BENCH_locator.json; without an explicit "
+                            "--output, a run with fewer tiers refuses to "
+                            "overwrite a fuller record)")
 
     spy_ = sub.add_parser("spy", help="ASCII spy plot, before/after")
     add_dataset_args(spy_)
@@ -189,7 +226,10 @@ def _cmd_run(args) -> int:
         )
     # The engine supplies cached artifacts (datasets, islandizations);
     # with --cache-dir they persist, so a repeated run warm-starts.
-    engine = Engine(cache_dir=_resolve_cache_dir(args))
+    engine = Engine(
+        locator=LocatorConfig(backend=args.locator_backend),
+        cache_dir=_resolve_cache_dir(args),
+    )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed,
                         with_features=args.functional)
     model_kwargs = {} if args.model == "gin" else {"variant": args.variant}
@@ -198,7 +238,8 @@ def _cmd_run(args) -> int:
     if platform == "igcn":
         sim = get_simulator(
             "igcn",
-            locator=LocatorConfig(c_max=args.cmax),
+            locator=LocatorConfig(c_max=args.cmax,
+                                  backend=args.locator_backend),
             consumer=ConsumerConfig(preagg_k=args.preagg_k),
         )
         report = sim.simulate(
@@ -229,7 +270,8 @@ def _cmd_run(args) -> int:
 
 def _cmd_islandize(args) -> int:
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    config = LocatorConfig(c_max=args.cmax, th0=args.th0, decay=args.decay)
+    config = LocatorConfig(c_max=args.cmax, th0=args.th0, decay=args.decay,
+                           backend=args.locator_backend)
     result = IGCNAccelerator(locator=config).islandize(ds.graph)
     result.validate()
     rows = [
@@ -253,7 +295,10 @@ def _cmd_islandize(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    engine = Engine(cache_dir=_resolve_cache_dir(args))
+    engine = Engine(
+        locator=LocatorConfig(backend=args.locator_backend),
+        cache_dir=_resolve_cache_dir(args),
+    )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed)
     model = build_model("gcn", ds.num_features, ds.num_classes,
                         variant=args.variant)
@@ -277,7 +322,10 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    engine = Engine(cache_dir=_resolve_cache_dir(args))
+    engine = Engine(
+        locator=LocatorConfig(backend=args.locator_backend),
+        cache_dir=_resolve_cache_dir(args),
+    )
     rows = engine.sweep(
         args.datasets,
         args.platforms,
@@ -334,6 +382,53 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # Only one suite today; the positional keeps room for more.
+    record = run_locator_bench(
+        tiers=args.tiers,
+        repeats=args.repeats,
+        seed=args.seed,
+        c_max=args.cmax,
+        verify=not args.no_verify,
+    )
+    rows = [
+        {
+            "tier": row["tier"],
+            "nodes": row["nodes"],
+            "edges": row["edges"],
+            "scalar_s": row["scalar_s"],
+            "batched_s": row["batched_s"],
+            "speedup": row["speedup"],
+            "equal": "-" if row["equal"] is None else str(row["equal"]),
+        }
+        for row in record["tiers"]
+    ]
+    print(render_table(rows, title="locator backend scaling "
+                                   "(best-of wall clock)"))
+    output = args.output or "BENCH_locator.json"
+    if args.output is None and Path(output).exists():
+        # Partial-tier smoke runs must not clobber a committed
+        # full-ladder record by accident; an explicit --output opts in.
+        try:
+            existing = json.loads(Path(output).read_text())
+        except (OSError, ValueError):
+            existing = {}
+        if len(existing.get("tiers", ())) > len(record["tiers"]):
+            print(f"error: {output} holds a {len(existing['tiers'])}-tier "
+                  f"record; pass --output to overwrite it with "
+                  f"{len(record['tiers'])} tiers", file=sys.stderr)
+            return 2
+    # Write the record first: on a divergence it is the evidence.
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    if any(row["equal"] is False for row in record["tiers"]):
+        print(f"error: backend results diverged — see rows above and "
+              f"{output}", file=sys.stderr)
+        return 1
+    print(f"\nwrote {output}: largest tier {record['largest_tier']} "
+          f"speedup {record['largest_speedup']}x")
+    return 0
+
+
 def _cmd_spy(args) -> int:
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     base = ds.graph.without_self_loops()
@@ -380,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "islandize": _cmd_islandize,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "spy": _cmd_spy,
         "experiments": _cmd_experiments,
         "cache": _cmd_cache,

@@ -41,6 +41,15 @@ class LocatorConfig:
         degree ≥ th_min becomes a hub, which guarantees termination.
     c_max:
         Maximum members per island (TP-BFS break condition B).
+    backend:
+        Software implementation of the TP-BFS hot path.  ``"batched"``
+        (default) runs the vectorized stamp-array kernel of
+        ``repro.core.tp_bfs_batched``; ``"scalar"`` runs the original
+        per-edge Python loop of ``repro.core.tp_bfs``, kept as the
+        oracle the batched kernel is tested against.  Both produce the
+        exact same :class:`~repro.core.types.IslandizationResult`; the
+        backend is still part of the config digest so cached artifacts
+        never mix backends.
     """
 
     p1: int = 64
@@ -50,10 +59,15 @@ class LocatorConfig:
     decay: float = 0.5
     th_min: int = 1
     c_max: int = 64
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.p1 < 1 or self.p2 < 1:
             raise ConfigError("parallel factors must be >= 1")
+        if self.backend not in ("batched", "scalar"):
+            raise ConfigError(
+                f"backend must be 'batched' or 'scalar' (got {self.backend!r})"
+            )
         if self.th0 is not None and self.th0 < 1:
             raise ConfigError("th0 must be >= 1")
         if not 0.0 < self.th0_quantile <= 1.0:

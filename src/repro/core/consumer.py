@@ -148,7 +148,10 @@ class IslandConsumer:
             layer_index=layer_index, in_dim=layer.in_dim, out_dim=layer.out_dim
         )
         hub_ids = result.hub_ids
-        hub_index = {int(h): i for i, h in enumerate(hub_ids)}
+        # Node id -> row of hub_acc; an O(1) array gather replaces the
+        # former per-task Python dict lookups.
+        hub_pos = np.full(n, -1, dtype=np.int64)
+        hub_pos[hub_ids] = np.arange(len(hub_ids), dtype=np.int64)
         row_bytes = layer.out_dim * _BYTES
         xw_cache = HubXWCache(
             capacity_bytes=self.hw.hub_xw_cache_bytes,
@@ -208,11 +211,24 @@ class IslandConsumer:
                 acc = None
             counts.scan.merge(scan)
             xw_cache.access(task.num_hubs, meter)
-            for local_row, hub in enumerate(task.hub_nodes.tolist()):
-                self.ring.send(pe, hub)
-                prc.update(hub, meter)
+            # Hub attachment, batched: one ring emission, one banked
+            # partial-sum batch, and (functionally) one row scatter —
+            # hub rows within a task are distinct, so the fancy-indexed
+            # += has no collisions.
+            if task.num_hubs:
+                hub_nodes = task.hub_nodes
+                self.ring.send_many(pe, hub_nodes)
+                prc.update_many(hub_nodes, meter)
                 if functional:
-                    hub_acc[hub_index[hub]] += acc[local_row]
+                    positions = hub_pos[hub_nodes]
+                    if positions.min() < 0:
+                        # The dict this scatter replaced raised KeyError
+                        # here; -1 would silently hit the last row.
+                        raise SimulationError(
+                            f"island task references unknown hub "
+                            f"{int(hub_nodes[int(positions.argmin())])}"
+                        )
+                    hub_acc[positions] += acc[:task.num_hubs]
             if functional:
                 members = task.member_nodes
                 out[members] = acc[task.num_hubs:]
@@ -220,15 +236,21 @@ class IslandConsumer:
 
         # ---------------- inter-hub tasks ------------------------------
         counts.interhub_ops = interhub.num_ops
+        if functional and len(interhub.directed_edges):
+            targets = interhub.directed_edges[:, 0]
+            if hub_pos[targets].min() < 0:
+                raise SimulationError(
+                    "inter-hub plan references a node outside hub_ids"
+                )
         for target, source in interhub.directed_edges.tolist():
             xw_cache.access(1, meter)
             prc.update(target, meter)
             if functional:
-                hub_acc[hub_index[target]] += xw_scaled[source]
+                hub_acc[hub_pos[target]] += xw_scaled[source]
         for hub in interhub.self_loop_hubs.tolist():
             prc.update(hub, meter)
             if functional:
-                hub_acc[hub_index[hub]] += xw_scaled[hub]
+                hub_acc[hub_pos[hub]] += xw_scaled[hub]
 
         # ---------------- finalisation ---------------------------------
         scale_target = not np.allclose(norm.target_scale, 1.0)

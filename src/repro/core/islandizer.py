@@ -9,6 +9,20 @@ asynchronous hardware because all three phases share one predicate
 *work* of each phase is still tracked separately so the hardware cycle
 model can overlap them.
 
+Th3 has two interchangeable backends selected by
+:attr:`~repro.core.config.LocatorConfig.backend`:
+
+* ``"batched"`` (default) — the vectorized stamp-array kernels of
+  :mod:`repro.core.tp_bfs_batched`: bulk task classification, one
+  multi-source NumPy BFS for all island-producing tasks, and
+  level-vectorized walks for over-``c_max`` regions;
+* ``"scalar"`` — the original per-edge Python loop of
+  :mod:`repro.core.tp_bfs`, kept as the oracle.
+
+Both produce the exact same :class:`IslandizationResult` — islands,
+hub order, inter-hub edges, round statistics and work counters — which
+``tests/test_backend_equivalence.py`` pins across graph families.
+
 Termination: the threshold decays geometrically to ``th_min``; at
 ``th_min = 1`` every remaining node with an edge becomes a hub and
 degree-0 nodes are swept into singleton islands, so the node list
@@ -17,11 +31,14 @@ always empties (DESIGN.md §6).
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.core.config import LocatorConfig
 from repro.core.hub_detector import detect_new_hubs
 from repro.core.tp_bfs import BFSRoundState, TaskOutcome, run_bfs_task
+from repro.core.tp_bfs_batched import execute_round_batched
 from repro.core.types import Island, IslandizationResult, LocatorWork, RoundStats
 from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
@@ -29,6 +46,56 @@ from repro.graph.csr import CSRGraph
 __all__ = ["IslandLocator", "islandize"]
 
 _MAX_ROUNDS = 1000  # safety net; real runs finish in < 20 rounds
+
+_NO_HUBS = np.zeros(0, dtype=np.int64)
+
+
+class _GreedyEngineDispatch:
+    """Greedy idle-engine assignment for the P2 work model.
+
+    Replaces the original per-task ``np.argmin(engine_load)`` full scan
+    with an O(log P2) heap.  Entries are ``(load, engine)`` tuples, so
+    a pop returns the least-loaded engine and — among ties — the
+    lowest engine index, exactly ``argmin``'s first-minimum rule; the
+    resulting ``per_engine_scans`` distribution is identical.
+    """
+
+    def __init__(self, p2: int) -> None:
+        self._p2 = p2
+        self._heap: list[tuple[int, int]] = [(0, i) for i in range(p2)]
+
+    def add(self, scans: int) -> None:
+        """Assign one task's scan work to the current idlest engine."""
+        load, engine = heapq.heappop(self._heap)
+        heapq.heappush(self._heap, (load + scans, engine))
+
+    def loads(self) -> np.ndarray:
+        """Per-engine scan totals (the LocatorWork distribution)."""
+        arr = np.zeros(self._p2, dtype=np.int64)
+        for load, engine in self._heap:
+            arr[engine] = load
+        return arr
+
+
+class _Round:
+    """Mutable Th3 tallies of one round (shared by both backends)."""
+
+    __slots__ = (
+        "islands_found", "nodes_islanded", "dropped_classified",
+        "dropped_visited", "dropped_cmax", "interhub_found",
+        "scans", "fetches", "bytes",
+    )
+
+    def __init__(self) -> None:
+        self.islands_found = 0
+        self.nodes_islanded = 0
+        self.dropped_classified = 0
+        self.dropped_visited = 0
+        self.dropped_cmax = 0
+        self.interhub_found = 0
+        self.scans = 0
+        self.fetches = 0
+        self.bytes = 0
 
 
 class IslandLocator:
@@ -43,7 +110,9 @@ class IslandLocator:
         Self-loops carry no structural information for clustering and
         are handled by the consumer's normalisation (the GCN ``A + I``
         diagonal), so the locator rejects them to keep edge accounting
-        unambiguous.
+        unambiguous.  The adjacency must be symmetric (the repository's
+        graph constructors guarantee this); both Th3 backends rely on
+        it.
         """
         if graph.has_self_loops():
             raise IslandizationError(
@@ -51,18 +120,28 @@ class IslandLocator:
                 "graph.without_self_loops() first"
             )
         config = self.config
+        batched = config.backend == "batched"
         n = graph.num_nodes
         degrees = graph.degrees.astype(np.int64)
         classified = np.zeros(n, dtype=bool)
         is_hub = np.zeros(n, dtype=bool)
-        visited_round = np.zeros(n, dtype=np.int64)
+        num_classified = 0
+        # Scalar backend: persistent v_global stamp array.  Batched
+        # backend: per-entry CSR source ids shared by every round's
+        # component labelling (built once: the graph is immutable).
+        visited_round = None if batched else np.zeros(n, dtype=np.int64)
+        csr_rows = (
+            np.repeat(np.arange(n, dtype=np.int64), degrees) if batched else None
+        )
+        csr_lists: dict = {}  # lazily filled list-CSR cache for walks
 
         islands: list[Island] = []
         hub_ids: list[int] = []
         hub_rounds: list[int] = []
         interhub: set[tuple[int, int]] = set()
+        interhub_keys = np.zeros(0, dtype=np.int64)
         rounds: list[RoundStats] = []
-        engine_load = np.zeros(config.p2, dtype=np.int64)
+        dispatch = _GreedyEngineDispatch(config.p2)
 
         total_fetch = 0
         total_bytes = 0
@@ -71,7 +150,7 @@ class IslandLocator:
 
         threshold = config.initial_threshold(degrees)
         round_id = 1
-        while classified.sum() < n:
+        while num_classified < n:
             if round_id > _MAX_ROUNDS:
                 raise IslandizationError(
                     f"locator failed to converge after {_MAX_ROUNDS} rounds"
@@ -80,24 +159,28 @@ class IslandLocator:
             new_hubs = detection.new_hubs
             classified[new_hubs] = True
             is_hub[new_hubs] = True
+            num_classified += len(new_hubs)
             hub_ids.extend(new_hubs.tolist())
             hub_rounds.extend([round_id] * len(new_hubs))
-            for iso in detection.isolated.tolist():
-                islands.append(
-                    Island(
-                        island_id=len(islands),
-                        round_id=round_id,
-                        members=np.asarray([iso], dtype=np.int64),
-                        hubs=np.zeros(0, dtype=np.int64),
-                    )
+            isolated = detection.isolated
+            next_id = len(islands)
+            islands.extend(
+                Island.from_trusted_arrays(
+                    island_id=next_id + i,
+                    round_id=round_id,
+                    members=isolated[i:i + 1],
+                    hubs=_NO_HUBS,
                 )
-                classified[iso] = True
+                for i in range(len(isolated))
+            )
+            classified[isolated] = True
+            num_classified += len(isolated)
 
             # --- Th2: task generation (reads each new hub's adjacency).
             # Vectorised CSR gather: one (hub, a0) task per adjacency
             # entry of each new hub, emitted hub-major with neighbours
-            # in row (sorted) order — the exact sequence the scalar
-            # per-hub loop produced, so round stats are unchanged.
+            # in row (sorted) order — the exact sequence a scalar
+            # per-hub loop would produce, so round stats are unchanged.
             starts = graph.indptr[new_hubs]
             counts = graph.indptr[new_hubs + 1] - starts
             total_tasks = int(counts.sum())
@@ -107,51 +190,63 @@ class IslandLocator:
             )
             task_hubs = np.repeat(new_hubs, counts)
             task_seeds = graph.indices[flat]
-            tasks: list[tuple[int, int]] = list(
-                zip(task_hubs.tolist(), task_seeds.tolist())
-            )
             taskgen_fetches = len(new_hubs)
             taskgen_bytes = total_tasks * 4
 
             # --- Th3: TP-BFS over the task queue.
-            state = BFSRoundState.create(
-                graph, degrees, threshold, config.c_max, round_id, visited_round
-            )
-            islands_found = 0
-            nodes_islanded = 0
-            dropped_classified = 0
-            dropped_visited = 0
-            dropped_cmax = 0
-            interhub_found = 0
-            for hub, a0 in tasks:
-                result = run_bfs_task(state, hub, a0)
-                if result.scans:
-                    # Greedy idle-engine dispatch for the P2 work model.
-                    engine = int(np.argmin(engine_load))
-                    engine_load[engine] += result.scans
-                if result.outcome is TaskOutcome.ISLAND:
-                    members = np.asarray(result.members, dtype=np.int64)
-                    islands.append(
-                        Island(
-                            island_id=len(islands),
-                            round_id=round_id,
-                            members=members,
-                            hubs=np.asarray(result.hubs, dtype=np.int64),
-                        )
+            tally = _Round()
+            if batched:
+                outcome = execute_round_batched(
+                    graph, csr_rows, is_hub, classified, config.c_max,
+                    task_hubs, task_seeds, interhub_keys, csr_lists,
+                )
+                next_id = len(islands)
+                islands.extend(
+                    Island.from_trusted_arrays(
+                        island_id=next_id + i,
+                        round_id=round_id,
+                        members=members,
+                        hubs=hubs,
                     )
-                    classified[members] = True
-                    islands_found += 1
-                    nodes_islanded += len(members)
-                elif result.outcome is TaskOutcome.SEED_IS_HUB:
-                    edge = (min(hub, a0), max(hub, a0))
-                    if edge not in interhub:
-                        interhub.add(edge)
-                        interhub_found += 1
-                    dropped_classified += 1
-                elif result.outcome is TaskOutcome.ALREADY_VISITED:
-                    dropped_visited += 1
-                else:
-                    dropped_cmax += 1
+                    for i, (members, hubs) in enumerate(outcome.islands)
+                )
+                if outcome.islands:
+                    new_members = np.concatenate(
+                        [members for members, _ in outcome.islands]
+                    )
+                    classified[new_members] = True
+                    num_classified += len(new_members)
+                if len(outcome.new_interhub_keys):
+                    # New keys are sorted and disjoint from the known
+                    # set; a stable sort of the concatenation is a
+                    # near-linear merge (np.union1d re-uniques instead).
+                    interhub_keys = np.sort(
+                        np.concatenate(
+                            [interhub_keys, outcome.new_interhub_keys]
+                        ),
+                        kind="stable",
+                    )
+                # Replay the greedy dispatch in task order (tasks with
+                # zero scans are skipped, as in the scalar path).
+                for scans in outcome.task_scans[
+                    outcome.task_scans > 0
+                ].tolist():
+                    dispatch.add(scans)
+                tally.islands_found = outcome.islands_found
+                tally.nodes_islanded = outcome.nodes_islanded
+                tally.dropped_classified = outcome.dropped_classified
+                tally.dropped_visited = outcome.dropped_visited
+                tally.dropped_cmax = outcome.dropped_cmax
+                tally.interhub_found = len(outcome.new_interhub_keys)
+                tally.scans = outcome.scans
+                tally.fetches = outcome.fetches
+                tally.bytes = outcome.adjacency_bytes
+            else:
+                num_classified += self._run_round_scalar(
+                    graph, degrees, threshold, round_id, visited_round,
+                    task_hubs, task_seeds, islands, classified, interhub,
+                    dispatch, tally,
+                )
 
             rounds.append(
                 RoundStats(
@@ -159,37 +254,44 @@ class IslandLocator:
                     threshold=threshold,
                     nodes_remaining=int(detection.detect_items),
                     hubs_found=len(new_hubs),
-                    islands_found=islands_found,
-                    nodes_islanded=nodes_islanded,
-                    tasks_generated=len(tasks),
-                    tasks_dropped_classified=dropped_classified,
-                    tasks_dropped_visited=dropped_visited,
-                    tasks_dropped_cmax=dropped_cmax,
-                    interhub_edges_found=interhub_found,
-                    adjacency_fetches=state.adjacency_fetches + taskgen_fetches,
-                    adjacency_bytes=state.adjacency_bytes + taskgen_bytes,
+                    islands_found=tally.islands_found,
+                    nodes_islanded=tally.nodes_islanded,
+                    tasks_generated=total_tasks,
+                    tasks_dropped_classified=tally.dropped_classified,
+                    tasks_dropped_visited=tally.dropped_visited,
+                    tasks_dropped_cmax=tally.dropped_cmax,
+                    interhub_edges_found=tally.interhub_found,
+                    adjacency_fetches=tally.fetches + taskgen_fetches,
+                    adjacency_bytes=tally.bytes + taskgen_bytes,
                     detect_items=detection.detect_items,
                 )
             )
-            total_fetch += state.adjacency_fetches + taskgen_fetches
-            total_bytes += state.adjacency_bytes + taskgen_bytes
+            total_fetch += tally.fetches + taskgen_fetches
+            total_bytes += tally.bytes + taskgen_bytes
             total_detect += detection.detect_items
-            total_scans += state.scans
+            total_scans += tally.scans
 
             threshold = config.next_threshold(threshold)
             round_id += 1
 
-        interhub_arr = (
-            np.asarray(sorted(interhub), dtype=np.int64).reshape(-1, 2)
-            if interhub
-            else np.zeros((0, 2), dtype=np.int64)
-        )
+        if batched:
+            interhub_arr = (
+                np.stack([interhub_keys // n, interhub_keys % n], axis=1)
+                if len(interhub_keys)
+                else np.zeros((0, 2), dtype=np.int64)
+            )
+        else:
+            interhub_arr = (
+                np.asarray(sorted(interhub), dtype=np.int64).reshape(-1, 2)
+                if interhub
+                else np.zeros((0, 2), dtype=np.int64)
+            )
         work = LocatorWork(
             total_adjacency_fetches=total_fetch,
             total_adjacency_bytes=total_bytes,
             total_detect_items=total_detect,
             total_bfs_scans=total_scans,
-            per_engine_scans=engine_load,
+            per_engine_scans=dispatch.loads(),
         )
         return IslandizationResult(
             graph=graph,
@@ -200,6 +302,64 @@ class IslandLocator:
             rounds=rounds,
             work=work,
         )
+
+    # ------------------------------------------------------------------
+    def _run_round_scalar(
+        self,
+        graph: CSRGraph,
+        degrees: np.ndarray,
+        threshold: int,
+        round_id: int,
+        visited_round: np.ndarray,
+        task_hubs: np.ndarray,
+        task_seeds: np.ndarray,
+        islands: list[Island],
+        classified: np.ndarray,
+        interhub: set[tuple[int, int]],
+        dispatch: _GreedyEngineDispatch,
+        tally: _Round,
+    ) -> int:
+        """One round of Th3 through the per-edge oracle loop.
+
+        Returns the number of nodes newly classified (islanded).
+        """
+        config = self.config
+        state = BFSRoundState.create(
+            graph, degrees, threshold, config.c_max, round_id, visited_round
+        )
+        newly_classified = 0
+        for hub, a0 in zip(task_hubs.tolist(), task_seeds.tolist()):
+            result = run_bfs_task(state, hub, a0)
+            if result.scans:
+                dispatch.add(result.scans)
+            if result.outcome is TaskOutcome.ISLAND:
+                members = np.asarray(result.members, dtype=np.int64)
+                islands.append(
+                    Island.from_trusted_arrays(
+                        island_id=len(islands),
+                        round_id=round_id,
+                        members=members,
+                        hubs=np.asarray(result.hubs, dtype=np.int64),
+                    )
+                )
+                classified[members] = True
+                newly_classified += len(members)
+                tally.islands_found += 1
+                tally.nodes_islanded += len(members)
+            elif result.outcome is TaskOutcome.SEED_IS_HUB:
+                edge = (min(hub, a0), max(hub, a0))
+                if edge not in interhub:
+                    interhub.add(edge)
+                    tally.interhub_found += 1
+                tally.dropped_classified += 1
+            elif result.outcome is TaskOutcome.ALREADY_VISITED:
+                tally.dropped_visited += 1
+            else:
+                tally.dropped_cmax += 1
+        tally.scans = state.scans
+        tally.fetches = state.adjacency_fetches
+        tally.bytes = state.adjacency_bytes
+        return newly_classified
 
 
 def islandize(

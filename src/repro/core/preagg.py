@@ -99,13 +99,17 @@ def group_layout(
     )
 
 
-def scan_costs(bitmap: np.ndarray, k: int, *, boundary: int = 0) -> ScanCounts:
-    """Count-only window scan of one island bitmap (performance mode)."""
-    if bitmap.size == 0:
-        return ScanCounts()
+def _window_classes(
+    bitmap: np.ndarray, starts: np.ndarray, widths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(row, group) non-zero counts and add/subtract class masks.
+
+    Shared by the counting and functional scans so their
+    :class:`ScanCounts` agree op-for-op.  Returns ``(z, full,
+    subtract, direct, cost)`` where the three masks partition the
+    non-empty windows and ``cost`` is each window's op count.
+    """
     rows, cols = bitmap.shape
-    starts, widths = group_layout(cols, k, boundary=boundary)
-    # Per-(row, group) non-zero counts via prefix sums.
     prefix = np.zeros((rows, cols + 1), dtype=np.int64)
     np.cumsum(bitmap, axis=1, out=prefix[:, 1:])
     ends = starts + widths
@@ -121,6 +125,15 @@ def scan_costs(bitmap: np.ndarray, k: int, *, boundary: int = 0) -> ScanCounts:
     full = nonzero & (z == widths[None, :]) & ~single
     subtract = nonzero & ~full & (reuse < direct) & ~single
     direct_mask = nonzero & ~full & ~subtract
+    return z, full, subtract, direct_mask, cost
+
+
+def scan_costs(bitmap: np.ndarray, k: int, *, boundary: int = 0) -> ScanCounts:
+    """Count-only window scan of one island bitmap (performance mode)."""
+    if bitmap.size == 0:
+        return ScanCounts()
+    starts, widths = group_layout(bitmap.shape[1], k, boundary=boundary)
+    z, full, subtract, direct_mask, cost = _window_classes(bitmap, starts, widths)
     # Pre-sums are built for every multi-column group during combination
     # (width - 1 adds each), as the paper constructs them unconditionally.
     build = int(np.maximum(widths - 1, 0).sum())
@@ -131,7 +144,7 @@ def scan_costs(bitmap: np.ndarray, k: int, *, boundary: int = 0) -> ScanCounts:
         windows_full=int(full.sum()),
         windows_subtract=int(subtract.sum()),
         windows_direct=int(direct_mask.sum()),
-        windows_skipped=int((~nonzero).sum()),
+        windows_skipped=int((z == 0).sum()),
     )
 
 
@@ -155,36 +168,32 @@ def scan_aggregate(
     if bitmap.size == 0:
         return acc, ScanCounts()
 
+    bmap = bitmap.astype(bool, copy=False)
     starts, widths = group_layout(cols, k, boundary=boundary)
     # Pre-aggregation: group sums built once per island.
-    group_sums = np.add.reduceat(xw_local, starts, axis=0)
+    group_sums = np.add.reduceat(np.asarray(xw_local, dtype=np.float64),
+                                 starts, axis=0)
+    z, full, subtract, direct_mask, cost = _window_classes(bmap, starts, widths)
     counts = ScanCounts(
-        preagg_build_ops=int(np.maximum(widths - 1, 0).sum())
+        baseline_ops=int(z.sum()),
+        scan_ops=int(cost.sum()),
+        preagg_build_ops=int(np.maximum(widths - 1, 0).sum()),
+        windows_full=int(full.sum()),
+        windows_subtract=int(subtract.sum()),
+        windows_direct=int(direct_mask.sum()),
+        windows_skipped=int((z == 0).sum()),
     )
-    for t in range(rows):
-        row = bitmap[t]
-        for g, (lo, width) in enumerate(zip(starts.tolist(), widths.tolist())):
-            hi = lo + width
-            window = row[lo:hi]
-            z = int(window.sum())
-            counts.baseline_ops += z
-            if z == 0:
-                counts.windows_skipped += 1
-                continue
-            reuse_cost = 1 + (width - z)
-            if width > 1 and z == width:
-                acc[t] += group_sums[g]
-                counts.scan_ops += 1
-                counts.windows_full += 1
-            elif width > 1 and reuse_cost < z:
-                acc[t] += group_sums[g]
-                missing = np.flatnonzero(~window) + lo
-                acc[t] -= xw_local[missing].sum(axis=0)
-                counts.scan_ops += reuse_cost
-                counts.windows_subtract += 1
-            else:
-                present = np.flatnonzero(window) + lo
-                acc[t] += xw_local[present].sum(axis=0)
-                counts.scan_ops += z
-                counts.windows_direct += 1
+    # Row t accumulates: one group pre-sum per full/subtract window,
+    # minus the absent columns of subtract windows, plus the present
+    # columns of direct windows — three dense products instead of the
+    # former per-row × per-group Python loop (the bitmaps are small and
+    # dense, so sparse kernels would not pay off).
+    acc += (full | subtract).astype(np.float64) @ group_sums
+    col_group = np.repeat(np.arange(len(starts)), widths)
+    sub_cols = subtract[:, col_group] & ~bmap
+    if sub_cols.any():
+        acc -= sub_cols.astype(np.float64) @ xw_local
+    dir_cols = direct_mask[:, col_group] & bmap
+    if dir_cols.any():
+        acc += dir_cols.astype(np.float64) @ xw_local
     return acc, counts

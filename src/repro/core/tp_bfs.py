@@ -6,6 +6,10 @@ closes (``query == count`` — an island), the island-size cap trips, or
 the search collides with a region another engine already visited this
 round.
 
+This module is the *scalar oracle*: the batched production backend
+(:mod:`repro.core.tp_bfs_batched`) must reproduce its results — islands,
+counters, stamps — exactly, and is property-tested against it.
+
 Shared per-round state lives in :class:`BFSRoundState`; stamp arrays
 make membership tests O(1) without reallocating sets every task:
 

@@ -53,6 +53,29 @@ class Island:
         if len(np.intersect1d(members, hubs)) != 0:
             raise IslandizationError("a node cannot be both member and hub")
 
+    @classmethod
+    def from_trusted_arrays(
+        cls,
+        island_id: int,
+        round_id: int,
+        members: np.ndarray,
+        hubs: np.ndarray,
+    ) -> "Island":
+        """Construct without re-validating (locator-internal fast path).
+
+        The Island Locator produces members/hubs as disjoint ``int64``
+        arrays by construction (stamp arrays make overlap impossible),
+        so batch island construction skips the ``__post_init__``
+        coercion and intersection check.  External callers should use
+        the regular constructor.
+        """
+        island = object.__new__(cls)
+        object.__setattr__(island, "island_id", island_id)
+        object.__setattr__(island, "round_id", round_id)
+        object.__setattr__(island, "members", members)
+        object.__setattr__(island, "hubs", hubs)
+        return island
+
     @property
     def num_members(self) -> int:
         """Number of island nodes."""
@@ -375,6 +398,35 @@ class IslandizationResult:
                             f"non-hub external neighbour {neigh}"
                         )
         self._validate_edge_coverage()
+
+    def equals(self, other: "IslandizationResult") -> bool:
+        """Exact structural equality with another result.
+
+        True iff every island (ids, rounds, member order, hub order),
+        the hub list and rounds-of-discovery, the inter-hub edge map,
+        all per-round statistics, and all work counters (including the
+        per-engine distribution) match.  This is the contract the
+        batched locator backend is held to against the scalar oracle.
+        """
+        if len(self.islands) != len(other.islands):
+            return False
+        for a, b in zip(self.islands, other.islands):
+            if a.island_id != b.island_id or a.round_id != b.round_id:
+                return False
+            if not np.array_equal(a.members, b.members):
+                return False
+            if not np.array_equal(a.hubs, b.hubs):
+                return False
+        return (
+            np.array_equal(self.hub_ids, other.hub_ids)
+            and np.array_equal(self.hub_round, other.hub_round)
+            and np.array_equal(self.interhub_edges, other.interhub_edges)
+            and self.rounds == other.rounds
+            and self.work._totals() == other.work._totals()
+            and np.array_equal(
+                self.work.per_engine_scans, other.work.per_engine_scans
+            )
+        )
 
     def _validate_edge_coverage(self) -> None:
         """Directed edge count must match islands + inter-hub exactly."""

@@ -30,6 +30,24 @@ class TestParser:
         args = build_parser().parse_args(["experiments", "--only", "fig11"])
         assert args.only == "fig11"
 
+    def test_locator_backend_defaults_batched(self):
+        for command in (["run"], ["islandize"], ["compare"], ["sweep"]):
+            assert build_parser().parse_args(command).locator_backend == "batched"
+
+    def test_locator_backend_choices(self):
+        args = build_parser().parse_args(
+            ["islandize", "--locator-backend", "scalar"]
+        )
+        assert args.locator_backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--locator-backend", "simd"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "locator"])
+        assert args.suite == "locator"
+        assert args.output is None  # resolved to BENCH_locator.json
+        assert "1e3" in args.tiers
+
 
 class TestCommands:
     def test_run_small(self, capsys):
@@ -51,6 +69,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "edge coverage validated" in out
+
+    def test_islandize_scalar_backend_same_output(self, capsys):
+        main(["islandize", "--dataset", "cora", "--scale", "0.1"])
+        batched = capsys.readouterr().out
+        main(["islandize", "--dataset", "cora", "--scale", "0.1",
+              "--locator-backend", "scalar"])
+        scalar = capsys.readouterr().out
+        assert scalar == batched
+
+    def test_bench_locator_writes_record(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        code = main(["bench", "locator", "--tiers", "1e3", "--repeats", "1",
+                     "--output", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "locator backend scaling" in out
+        import json
+
+        record = json.loads(out_file.read_text())
+        assert record["benchmark"] == "locator-scale"
+        assert record["tiers"][0]["tier"] == "1e3"
+        assert record["tiers"][0]["equal"] is True
+        assert record["largest_tier"] == "1e3"
+
+    def test_bench_default_output_refuses_to_shrink_record(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # A partial smoke run without --output must not clobber a
+        # committed fuller record.
+        monkeypatch.chdir(tmp_path)
+        import json
+
+        (tmp_path / "BENCH_locator.json").write_text(
+            json.dumps({"benchmark": "locator-scale",
+                        "tiers": [{"tier": t} for t in ("1e3", "1e4", "1e5")]})
+        )
+        code = main(["bench", "locator", "--tiers", "1e3", "--repeats", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "pass --output" in err
+        assert json.loads(
+            (tmp_path / "BENCH_locator.json").read_text()
+        )["tiers"][-1] == {"tier": "1e5"}
 
     def test_compare(self, capsys):
         code = main(["compare", "--dataset", "cora", "--scale", "0.1"])

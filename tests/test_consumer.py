@@ -92,6 +92,56 @@ class TestHubCaches:
         assert prc.bank_imbalance == pytest.approx(1.0)
 
 
+class TestBatchedHubAttachment:
+    """send_many / update_many must count exactly like scalar loops."""
+
+    def test_ring_send_many_matches_sequential(self):
+        from repro.hw.ring import RingNetwork
+
+        hubs = [13, 2, 9, 13, 21, 2, 5]  # duplicates reduce in-network
+        seq, batch = RingNetwork(8), RingNetwork(8)
+        for hub in hubs:
+            seq.send(3, hub)
+        batch.send_many(3, hubs)
+        assert batch.stats == seq.stats
+
+    def test_ring_send_many_respects_in_flight(self):
+        from repro.hw.ring import RingNetwork
+
+        seq, batch = RingNetwork(8), RingNetwork(8)
+        seq.send(1, 9)
+        batch.send(1, 9)
+        # Hub 9 is still in flight (no drain): it must reduce again.
+        seq.send(1, 9)
+        seq.send(1, 4)
+        batch.send_many(1, [9, 4])
+        assert batch.stats == seq.stats
+
+    def test_prc_update_many_matches_sequential_no_spill(self):
+        hubs = [0, 5, 9, 5, 14]
+        seq = HubPartialResultCache(1 << 20, 64, num_hubs=16, num_banks=4)
+        batch = HubPartialResultCache(1 << 20, 64, num_hubs=16, num_banks=4)
+        m1, m2 = TrafficMeter(), TrafficMeter()
+        for hub in hubs:
+            seq.update(hub, m1)
+        batch.update_many(hubs, m2)
+        assert batch.bank_updates == seq.bank_updates
+        assert batch.updates == seq.updates
+        assert m2.reads == m1.reads
+
+    def test_prc_update_many_matches_sequential_spilling(self):
+        hubs = [0, 5, 9, 5, 14]
+        seq = HubPartialResultCache(64, 64, num_hubs=16, num_banks=4)
+        batch = HubPartialResultCache(64, 64, num_hubs=16, num_banks=4)
+        m1, m2 = TrafficMeter(), TrafficMeter()
+        for hub in hubs:
+            seq.update(hub, m1)
+        batch.update_many(hubs, m2)
+        assert batch.bank_updates == seq.bank_updates
+        assert batch.updates == seq.updates
+        assert m2.reads == m1.reads
+
+
 class TestLayerCounts:
     def test_pruning_accounting(self):
         counts = LayerCounts(layer_index=0, in_dim=4, out_dim=10)
