@@ -1,0 +1,50 @@
+"""Consumer backend scaling: batched multi-island kernel vs scalar oracle.
+
+Runs the :mod:`repro.eval.bench_consumer` harness over its smoke tiers,
+prints the scaling table, and asserts the two properties the perf
+trajectory depends on: both backends satisfy the exact-equivalence
+contract (counts, traffic, ring/PRC statistics — byte-identical
+functional outputs on the smallest tiers), and the batched kernel is
+not slower than the scalar loop at the largest smoke size.  The full
+ladder (up to ~2e6 edges) runs via ``python -m repro bench consumer``;
+keeping the suite's tiers small bounds bench-session time.
+"""
+
+import pytest
+
+from repro.eval import render_table
+from repro.eval.bench_consumer import run_consumer_bench
+
+SMOKE_TIERS = ("1e3", "1e4", "1e5")
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_consumer_bench(tiers=SMOKE_TIERS, repeats=3)
+
+
+def test_consumer_scaling(record):
+    print()
+    print(render_table(record["tiers"], title="consumer backend scaling"))
+    assert [row["tier"] for row in record["tiers"]] == list(SMOKE_TIERS)
+
+
+def test_backends_equal_on_every_tier(record):
+    assert all(row["equal"] for row in record["tiers"])
+
+
+def test_functional_verified_on_small_tiers(record):
+    # The byte-identical output check must actually run somewhere.
+    assert any(row["functional_verified"] for row in record["tiers"])
+
+
+def test_batched_not_slower_at_largest_tier(record):
+    largest = record["tiers"][-1]
+    assert largest["batched_s"] <= largest["scalar_s"], largest
+
+
+def test_speedup_grows_with_scale(record):
+    # The batched kernel amortises fixed vectorization costs, so the
+    # ratio must improve from the smallest to the largest smoke tier.
+    speedups = [row["speedup"] for row in record["tiers"]]
+    assert speedups[-1] > speedups[0]

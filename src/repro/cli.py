@@ -7,11 +7,13 @@ Commands
 ``compare``   cross-platform comparison on one dataset
 ``sweep``     batched datasets × models × platforms sweep (optionally
               process-parallel) through the runtime Engine
-``bench``     locator scaling benchmark (scalar vs batched backend);
-              writes BENCH_locator.json
+``bench``     scaling benchmarks (scalar vs batched backends): the
+              ``locator`` suite writes BENCH_locator.json, the
+              ``consumer`` suite BENCH_consumer.json
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
-``cache``     inspect or clear the persistent artifact store
+``cache``     inspect, clear, or size-evict the persistent artifact
+              store
 
 All simulation goes through the runtime registry
 (``repro.runtime.get_simulator``); artifact caching and batching go
@@ -31,13 +33,16 @@ Examples
     python -m repro sweep --datasets cora citeseer --platforms igcn awb
     python -m repro sweep --datasets cora pubmed --parallel 4 --cache-dir ~/.cache/repro
     python -m repro sweep --datasets cora --format json --output rows.json
+    python -m repro bench consumer --tiers 1e3 1e4
     python -m repro cache stats
+    python -m repro cache evict --max-size 500M
     python -m repro spy --dataset cora
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from pathlib import Path
@@ -47,6 +52,7 @@ import json
 from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
+from repro.eval.bench_consumer import run_consumer_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
 from repro.eval.experiments import (
     experiment_fig9,
@@ -100,12 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "invocations warm-start (default: "
                             "$REPRO_CACHE_DIR if set, else no disk cache)")
 
-    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+    def add_locator_backend_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--locator-backend", choices=["batched", "scalar"],
                        default="batched",
                        help="TP-BFS implementation: the vectorized batched "
                             "kernel (default) or the scalar oracle loop; "
                             "results are identical, only speed differs")
+
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        add_locator_backend_arg(p)
+        # Only commands with a consumer phase take --consumer-backend
+        # (islandize stops at the locator; a silently ignored flag
+        # would mislead).
+        p.add_argument("--consumer-backend", choices=["batched", "scalar"],
+                       default="batched",
+                       help="Island Consumer implementation: the vectorized "
+                            "multi-island kernel (default) or the scalar "
+                            "per-island oracle loop; counts, traffic and "
+                            "outputs are identical, only speed differs")
 
     # Accept aliases too, so platform names printed by compare/sweep
     # ("awb-gcn", ...) round-trip as input.
@@ -131,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     isl.add_argument("--cmax", type=int, default=64)
     isl.add_argument("--th0", type=int, default=None)
     isl.add_argument("--decay", type=float, default=0.5)
-    add_backend_arg(isl)
+    add_locator_backend_arg(isl)
 
     cmp_ = sub.add_parser("compare", help="cross-platform comparison")
     add_dataset_args(cmp_)
@@ -165,9 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_arg(swp)
 
     bench = sub.add_parser(
-        "bench", help="performance benchmarks (scalar vs batched locator)"
+        "bench", help="performance benchmarks (scalar vs batched backends)"
     )
-    bench.add_argument("suite", choices=["locator"],
+    bench.add_argument("suite", choices=["locator", "consumer"],
                        help="benchmark suite to run")
     bench.add_argument("--tiers", nargs="+", choices=list(BENCH_TIERS),
                        default=list(BENCH_TIERS),
@@ -177,11 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of repeats for the batched backend")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--cmax", type=int, default=64)
+    bench.add_argument("--preagg-k", type=int, default=_DEFAULT_PREAGG_K,
+                       help="consumer suite: pre-aggregation window width")
     bench.add_argument("--no-verify", action="store_true",
                        help="skip the backend-equivalence check per tier")
     bench.add_argument("--output", metavar="FILE", default=None,
                        help="JSON record destination (default: "
-                            "BENCH_locator.json; without an explicit "
+                            "BENCH_<suite>.json; without an explicit "
                             "--output, a run with fewer tiers refuses to "
                             "overwrite a fuller record)")
 
@@ -198,14 +218,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_arg(exp)
 
-    cache = sub.add_parser("cache", help="inspect or clear the artifact store")
-    cache.add_argument("action", choices=["stats", "clear"],
+    cache = sub.add_parser(
+        "cache", help="inspect, clear, or size-evict the artifact store"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "evict"],
                        help="stats: per-kind entry counts and bytes; "
-                            "clear: delete every persisted artifact")
+                            "clear: delete every persisted artifact; "
+                            "evict: drop least-recently-written artifacts "
+                            "until the store fits --max-size")
     cache.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="store location (default: $REPRO_CACHE_DIR, "
                             "else ~/.cache/repro)")
+    cache.add_argument("--max-size", metavar="SIZE", default=None,
+                       help="evict: size budget as bytes or with a K/M/G "
+                            "suffix (e.g. 500M, 1.5G)")
     return parser
+
+
+def _parse_size(text: str) -> int:
+    """``"500M"``/``"1.5G"``/plain bytes → byte count."""
+    units = {"k": 1_000, "m": 1_000_000, "g": 1_000_000_000}
+    cleaned = text.strip().lower().rstrip("b")
+    factor = 1
+    if cleaned and cleaned[-1] in units:
+        factor = units[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError:
+        raise ReproError(f"unparsable size {text!r} (try 500M or 2G)") from None
+    if not math.isfinite(value) or value < 0:
+        raise ReproError(f"size must be a non-negative finite number "
+                         f"(got {text!r})")
+    return int(value * factor)
 
 
 def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
@@ -228,6 +273,7 @@ def _cmd_run(args) -> int:
     # with --cache-dir they persist, so a repeated run warm-starts.
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend),
         cache_dir=_resolve_cache_dir(args),
     )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed,
@@ -240,7 +286,8 @@ def _cmd_run(args) -> int:
             "igcn",
             locator=LocatorConfig(c_max=args.cmax,
                                   backend=args.locator_backend),
-            consumer=ConsumerConfig(preagg_k=args.preagg_k),
+            consumer=ConsumerConfig(preagg_k=args.preagg_k,
+                                    backend=args.consumer_backend),
         )
         report = sim.simulate(
             ds.graph, model, feature_density=ds.feature_density,
@@ -297,6 +344,7 @@ def _cmd_islandize(args) -> int:
 def _cmd_compare(args) -> int:
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend),
         cache_dir=_resolve_cache_dir(args),
     )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -324,6 +372,7 @@ def _cmd_compare(args) -> int:
 def _cmd_sweep(args) -> int:
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend),
         cache_dir=_resolve_cache_dir(args),
     )
     rows = engine.sweep(
@@ -367,6 +416,14 @@ def _cmd_cache(args) -> int:
         removed = store.clear()
         print(f"cleared {removed} artifacts from {store.root}")
         return 0
+    if args.action == "evict":
+        if args.max_size is None:
+            raise ReproError("cache evict needs --max-size (e.g. 500M)")
+        removed, freed = store.evict(_parse_size(args.max_size))
+        kept = sum(size for _, size in store.entries().values())
+        print(f"evicted {removed} artifacts ({freed / 1e6:.3f} MB) from "
+              f"{store.root}; {kept / 1e6:.3f} MB kept")
+        return 0
     entries = store.entries()
     if not entries:
         print(f"artifact store at {store.root}: empty")
@@ -383,14 +440,28 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    # Only one suite today; the positional keeps room for more.
-    record = run_locator_bench(
-        tiers=args.tiers,
-        repeats=args.repeats,
-        seed=args.seed,
-        c_max=args.cmax,
-        verify=not args.no_verify,
-    )
+    if args.suite == "locator":
+        if args.preagg_k != _DEFAULT_PREAGG_K:
+            raise SimulationError(
+                "--preagg-k configures the consumer scan and only applies "
+                "to the consumer suite"
+            )
+        record = run_locator_bench(
+            tiers=args.tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            c_max=args.cmax,
+            verify=not args.no_verify,
+        )
+    else:
+        record = run_consumer_bench(
+            tiers=args.tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            c_max=args.cmax,
+            preagg_k=args.preagg_k,
+            verify=not args.no_verify,
+        )
     rows = [
         {
             "tier": row["tier"],
@@ -403,9 +474,9 @@ def _cmd_bench(args) -> int:
         }
         for row in record["tiers"]
     ]
-    print(render_table(rows, title="locator backend scaling "
+    print(render_table(rows, title=f"{args.suite} backend scaling "
                                    "(best-of wall clock)"))
-    output = args.output or "BENCH_locator.json"
+    output = args.output or f"BENCH_{args.suite}.json"
     if args.output is None and Path(output).exists():
         # Partial-tier smoke runs must not clobber a committed
         # full-ladder record by accident; an explicit --output opts in.

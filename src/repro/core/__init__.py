@@ -4,6 +4,7 @@ from repro.core.accelerator import IGCNAccelerator, IGCNReport
 from repro.core.bitmap import IslandTask, build_island_task
 from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
+from repro.core.consumer_batched import TaskBatch
 from repro.core.interhub import InterHubPlan, build_interhub_plan
 from repro.core.islandizer import IslandLocator, islandize
 from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
@@ -20,6 +21,7 @@ __all__ = [
     "IslandConsumer",
     "LayerCounts",
     "prepare_tasks",
+    "TaskBatch",
     "InterHubPlan",
     "build_interhub_plan",
     "IslandLocator",

@@ -23,7 +23,7 @@ from typing import ClassVar
 import numpy as np
 
 from repro.core.config import ConsumerConfig, LocatorConfig
-from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
+from repro.core.consumer import IslandConsumer, LayerCounts
 from repro.core.interhub import build_interhub_plan
 from repro.core.islandizer import IslandLocator
 from repro.core.pipeline import pipelined_makespan
@@ -156,12 +156,15 @@ class IGCNAccelerator:
             result = IslandLocator(self.locator_config).run(clean)
 
         norm = normalization_for(clean, model.aggregation, gin_eps=model.gin_eps)
-        tasks = prepare_tasks(result, add_self_loops=norm.add_self_loops)
         interhub = build_interhub_plan(result, add_self_loops=norm.add_self_loops)
         if functional and weights is None:
             weights = init_weights(model, seed=seed)
 
         consumer = IslandConsumer(self.consumer_config, self.hw)
+        # Backend-appropriate task representation (packed TaskBatch for
+        # the batched consumer, per-island bitmaps for the scalar
+        # oracle), built once and shared by every layer.
+        tasks = consumer.prepare(result, add_self_loops=norm.add_self_loops)
         meter = TrafficMeter()
         meter.read("adjacency", result.work.total_adjacency_bytes)
 

@@ -20,6 +20,7 @@ scanning the hubs' (long) neighbour lists.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -58,9 +59,15 @@ class IslandTask:
         """Global ids of the attached hubs (local order)."""
         return self.local_nodes[: self.num_hubs]
 
-    @property
+    @cached_property
     def nnz(self) -> int:
-        """Directed entries this task aggregates."""
+        """Directed entries this task aggregates (computed once).
+
+        Read repeatedly per layer by the schedule and cost models; the
+        bitmap is immutable after construction, so the popcount is
+        memoized on first access (``cached_property`` writes straight
+        into ``__dict__``, which frozen dataclasses permit).
+        """
         return int(self.bitmap.sum())
 
 

@@ -108,13 +108,27 @@ class ConsumerConfig:
         pre-summed.  The paper's worked example uses k = 2 and leaves k
         customisable; k = 6 maximises average pruning on the evaluation
         graphs (see benchmarks/bench_ablation.py) and is the default.
+    backend:
+        Software implementation of the consumer's task assembly and
+        layer execution.  ``"batched"`` (default) runs the vectorized
+        multi-island kernels of ``repro.core.consumer_batched``;
+        ``"scalar"`` runs the original per-island Python loop, kept as
+        the oracle the batched path is tested against.  Both produce
+        exactly the same counts, traffic, ring statistics and (in
+        functional mode) output matrices; the backend is still part of
+        the config digest so cached artifacts never mix backends.
     """
 
     num_pes: int = 8
     preagg_k: int = 6
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
             raise ConfigError("num_pes must be >= 1")
         if self.preagg_k < 2:
             raise ConfigError("preagg_k must be >= 2 (k=1 disables reuse)")
+        if self.backend not in ("batched", "scalar"):
+            raise ConfigError(
+                f"backend must be 'batched' or 'scalar' (got {self.backend!r})"
+            )

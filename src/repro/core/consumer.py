@@ -17,6 +17,21 @@ Executes one GraphCONV layer (combination-first, §2.2.1) against an
 Both modes share one code path: counting always happens; *functional*
 mode additionally carries feature values so the output can be checked
 against the scipy reference (losslessness tests).
+
+Two interchangeable implementations execute the island/inter-hub phase,
+selected by :class:`~repro.core.config.ConsumerConfig` ``backend``:
+
+* ``"batched"`` (default) — the vectorized multi-island kernels of
+  :mod:`repro.core.consumer_batched`, operating on a packed
+  :class:`~repro.core.consumer_batched.TaskBatch`;
+* ``"scalar"`` — the original per-island Python loop below, kept
+  verbatim as the oracle the batched backend is tested against.
+
+The contract is *exact* equality: identical :class:`LayerCounts`
+(including every :class:`~repro.core.preagg.ScanCounts` field), DRAM
+traffic, ring statistics, DHUB-PRC bank counters, and — in functional
+mode — byte-identical output matrices
+(``tests/test_consumer_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -39,7 +54,13 @@ from repro.hw.ring import RingNetwork
 from repro.models.configs import LayerSpec
 from repro.models.reference import NormalizationSpec
 
-__all__ = ["LayerCounts", "LayerExecution", "IslandConsumer", "prepare_tasks"]
+__all__ = [
+    "LayerCounts",
+    "LayerExecution",
+    "IslandConsumer",
+    "prepare_tasks",
+    "execution_mismatch",
+]
 
 _BYTES = 4
 
@@ -47,7 +68,14 @@ _BYTES = 4
 def prepare_tasks(
     result: IslandizationResult, *, add_self_loops: bool
 ) -> list[IslandTask]:
-    """Build every island's bitmap task (shared across layers)."""
+    """Build every island's bitmap task (shared across layers).
+
+    This is the scalar backend's representation (one dense bitmap per
+    island).  The batched backend packs all islands into one
+    :class:`~repro.core.consumer_batched.TaskBatch`; use
+    :meth:`IslandConsumer.prepare` to get the representation matching
+    the configured backend.
+    """
     return [
         build_island_task(result.graph, island, add_self_loops=add_self_loops)
         for island in result.islands
@@ -104,6 +132,76 @@ class LayerExecution:
 
     counts: LayerCounts
     output: np.ndarray | None = None
+    #: Observability for the backend-equivalence contract: HUB XW cache
+    #: reuse accesses and DHUB-PRC update totals / per-bank counters.
+    hub_xw_accesses: int = 0
+    prc_updates: int = 0
+    prc_bank_updates: list[int] = field(default_factory=list)
+
+
+def execution_mismatch(
+    a: LayerExecution,
+    a_meter: TrafficMeter,
+    b: LayerExecution,
+    b_meter: TrafficMeter,
+    *,
+    functional: bool = False,
+) -> str | None:
+    """First differing field of one layer's exact-equivalence contract.
+
+    The single definition of what "exact backend equality" means for a
+    layer execution — shared by ``tests/test_consumer_equivalence.py``
+    and the consumer benchmark's per-tier verification, so the two
+    checkers cannot drift.  Returns ``None`` when the layers agree;
+    ring statistics live on the consumer and are compared separately.
+    """
+    if a.counts != b.counts:
+        return f"LayerCounts differ: {a.counts} != {b.counts}"
+    if a_meter.reads != b_meter.reads:
+        return f"meter reads differ: {a_meter.reads} != {b_meter.reads}"
+    if a_meter.writes != b_meter.writes:
+        return f"meter writes differ: {a_meter.writes} != {b_meter.writes}"
+    if a.hub_xw_accesses != b.hub_xw_accesses:
+        return (
+            f"hub_xw_accesses differ: {a.hub_xw_accesses} != "
+            f"{b.hub_xw_accesses}"
+        )
+    if a.prc_updates != b.prc_updates:
+        return f"prc_updates differ: {a.prc_updates} != {b.prc_updates}"
+    if a.prc_bank_updates != b.prc_bank_updates:
+        return (
+            f"prc_bank_updates differ: {a.prc_bank_updates} != "
+            f"{b.prc_bank_updates}"
+        )
+    if functional:
+        if a.output is None or b.output is None:
+            # Self-diagnosing rather than AttributeError: a backend
+            # that returned no output IS a contract violation.
+            return (
+                f"output missing: scalar={a.output is not None} "
+                f"batched={b.output is not None}"
+            )
+        if a.output.dtype != b.output.dtype:
+            return f"output dtypes differ: {a.output.dtype} != {b.output.dtype}"
+        if a.output.tobytes() != b.output.tobytes():
+            return "output matrices differ bitwise"
+    return None
+
+
+@dataclass
+class _LayerState:
+    """Everything one layer pass threads between its phases."""
+
+    functional: bool
+    counts: LayerCounts
+    hub_ids: np.ndarray
+    hub_pos: np.ndarray
+    xw_cache: HubXWCache
+    prc: HubPartialResultCache
+    xw: np.ndarray | None
+    xw_scaled: np.ndarray | None
+    out: np.ndarray | None
+    hub_acc: np.ndarray | None
 
 
 class IslandConsumer:
@@ -119,10 +217,26 @@ class IslandConsumer:
         self.ring = RingNetwork(self.config.num_pes)
 
     # ------------------------------------------------------------------
+    def prepare(self, result: IslandizationResult, *, add_self_loops: bool):
+        """Task representation for this consumer's backend.
+
+        ``"batched"`` → one packed
+        :class:`~repro.core.consumer_batched.TaskBatch` (assembled in a
+        single vectorized pass over the global CSR); ``"scalar"`` → the
+        per-island :func:`prepare_tasks` list.  Either is shared across
+        all layers of one inference.
+        """
+        if self.config.backend == "batched":
+            from repro.core.consumer_batched import TaskBatch
+
+            return TaskBatch.from_result(result, add_self_loops=add_self_loops)
+        return prepare_tasks(result, add_self_loops=add_self_loops)
+
+    # ------------------------------------------------------------------
     def run_layer(
         self,
         result: IslandizationResult,
-        tasks: list[IslandTask],
+        tasks,
         interhub: InterHubPlan,
         norm: NormalizationSpec,
         layer: LayerSpec,
@@ -138,11 +252,54 @@ class IslandConsumer:
 
         Functional mode when ``x`` and ``w`` are given (returns the
         output matrix); otherwise performance mode (counts only, using
-        ``feature_density`` for the input nnz estimate).
+        ``feature_density`` for the input nnz estimate).  ``tasks`` is
+        whatever :meth:`prepare` returned for this backend; a scalar
+        task list handed to the batched backend is converted on the
+        fly (convenient for tests, but repays the packing cost every
+        call — prefer :meth:`prepare`).
         """
         functional = x is not None
         if functional and w is None:
             raise SimulationError("functional mode needs both x and w")
+        state = self._layer_setup(
+            result, norm, layer,
+            layer_index=layer_index, meter=meter, x=x, w=w,
+            feature_density=feature_density, functional=functional,
+        )
+        if self.config.backend == "batched":
+            from repro.core.consumer_batched import TaskBatch, run_layer_batched
+
+            batch = (
+                tasks if isinstance(tasks, TaskBatch)
+                else TaskBatch.from_tasks(tasks)
+            )
+            run_layer_batched(self, state, batch, interhub, meter)
+        else:
+            if not isinstance(tasks, (list, tuple)):
+                raise SimulationError(
+                    "the scalar consumer backend needs the prepare_tasks() "
+                    f"island-task list, got {type(tasks).__name__}"
+                )
+            self._run_scalar(state, tasks, interhub, meter)
+        return self._layer_finalize(
+            state, norm, layer, meter=meter, final_layer=final_layer
+        )
+
+    # ------------------------------------------------------------------
+    def _layer_setup(
+        self,
+        result: IslandizationResult,
+        norm: NormalizationSpec,
+        layer: LayerSpec,
+        *,
+        layer_index: int,
+        meter: TrafficMeter,
+        x,
+        w,
+        feature_density: float,
+        functional: bool,
+    ) -> _LayerState:
+        """Combination phase + per-layer structures (backend-shared)."""
         n = result.graph.num_nodes
         counts = LayerCounts(
             layer_index=layer_index, in_dim=layer.in_dim, out_dim=layer.out_dim
@@ -191,13 +348,34 @@ class IslandConsumer:
             meter.read("features", n * layer.in_dim * _BYTES)
         meter.read("weights", layer.in_dim * layer.out_dim * _BYTES)
 
-        # ---------------- island tasks ---------------------------------
         out = np.zeros((n, layer.out_dim), dtype=np.float64) if functional else None
         hub_acc = (
             np.zeros((len(hub_ids), layer.out_dim), dtype=np.float64)
             if functional
             else None
         )
+        return _LayerState(
+            functional=functional, counts=counts, hub_ids=hub_ids,
+            hub_pos=hub_pos, xw_cache=xw_cache, prc=prc, xw=xw,
+            xw_scaled=xw_scaled, out=out, hub_acc=hub_acc,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_scalar(
+        self,
+        state: _LayerState,
+        tasks: list[IslandTask],
+        interhub: InterHubPlan,
+        meter: TrafficMeter,
+    ) -> None:
+        """Per-island oracle loop (the batched backend's ground truth)."""
+        functional = state.functional
+        counts = state.counts
+        hub_pos = state.hub_pos
+        xw_cache, prc = state.xw_cache, state.prc
+        xw_scaled, out, hub_acc = state.xw_scaled, state.out, state.hub_acc
+
+        # ---------------- island tasks ---------------------------------
         k = self.config.preagg_k
         for task_idx, task in enumerate(tasks):
             pe = task_idx % self.config.num_pes
@@ -236,12 +414,7 @@ class IslandConsumer:
 
         # ---------------- inter-hub tasks ------------------------------
         counts.interhub_ops = interhub.num_ops
-        if functional and len(interhub.directed_edges):
-            targets = interhub.directed_edges[:, 0]
-            if hub_pos[targets].min() < 0:
-                raise SimulationError(
-                    "inter-hub plan references a node outside hub_ids"
-                )
+        interhub.validate_targets(hub_pos)
         for target, source in interhub.directed_edges.tolist():
             xw_cache.access(1, meter)
             prc.update(target, meter)
@@ -252,19 +425,31 @@ class IslandConsumer:
             if functional:
                 hub_acc[hub_pos[hub]] += xw_scaled[hub]
 
-        # ---------------- finalisation ---------------------------------
+    # ------------------------------------------------------------------
+    def _layer_finalize(
+        self,
+        state: _LayerState,
+        norm: NormalizationSpec,
+        layer: LayerSpec,
+        *,
+        meter: TrafficMeter,
+        final_layer: bool,
+    ) -> LayerExecution:
+        """Target scaling, self term, activation, result write-out."""
+        counts, out = state.counts, state.out
+        n = len(state.hub_pos)
         scale_target = not np.allclose(norm.target_scale, 1.0)
         if scale_target:
             counts.scale_macs += n * layer.out_dim
         if norm.self_weight != 0.0:
             counts.scale_macs += n * layer.out_dim
-        if functional:
-            if len(hub_ids):
-                out[hub_ids] = hub_acc
+        if state.functional:
+            if len(state.hub_ids):
+                out[state.hub_ids] = state.hub_acc
             if scale_target:
                 out *= norm.target_scale[:, None]
             if norm.self_weight != 0.0:
-                out += norm.self_weight * xw
+                out += norm.self_weight * state.xw
             if layer.activation == "relu":
                 np.maximum(out, 0.0, out=out)
 
@@ -272,4 +457,10 @@ class IslandConsumer:
         # layer's results must stream to DRAM unconditionally.
         category = "results" if final_layer else "hidden-results"
         meter.write(category, n * layer.out_dim * _BYTES)
-        return LayerExecution(counts=counts, output=out)
+        return LayerExecution(
+            counts=counts,
+            output=out,
+            hub_xw_accesses=state.xw_cache.accesses,
+            prc_updates=state.prc.updates,
+            prc_bank_updates=list(state.prc.bank_updates),
+        )

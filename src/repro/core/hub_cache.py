@@ -53,6 +53,28 @@ class HubXWCache:
             category="hub-xw-spill",
         )
 
+    def access_batch(self, counts, meter: TrafficMeter) -> float:
+        """Record one :meth:`access` per entry of ``counts``, vectorized.
+
+        Counter- and byte-identical to the sequential loop (per-call
+        spill rounding included — see ``CacheModel.access_batch``).
+        """
+        return self._cache.access_batch(
+            counts,
+            bytes_per_access=self.row_bytes,
+            meter=meter,
+            category="hub-xw-spill",
+        )
+
+    def access_repeat(self, num_calls: int, meter: TrafficMeter) -> float:
+        """``num_calls`` single-row reuse reads, in O(1) (loop-identical)."""
+        return self._cache.access_uniform(
+            num_calls,
+            bytes_per_access=self.row_bytes,
+            meter=meter,
+            category="hub-xw-spill",
+        )
+
     @property
     def accesses(self) -> int:
         """Total reuse accesses recorded."""
@@ -98,19 +120,24 @@ class HubPartialResultCache:
     def update_many(self, hub_ids, meter: TrafficMeter) -> float:
         """Record a batch of partial-sum updates, vectorized.
 
-        Counter-equivalent to one :meth:`update` per id: bank counts
-        come from one ``bincount``; the common no-spill case records the
-        accesses in bulk, while a spilling cache falls back to per-id
-        updates so the per-access byte rounding matches exactly.
+        Counter- and byte-equivalent to one :meth:`update` per id: bank
+        counts come from one ``bincount``, and — since every update is
+        a single access — each spills exactly ``round(miss_ratio * 2 *
+        row_bytes)`` bytes, so the spilling case multiplies that
+        per-call rounding instead of looping.
         """
         ids = np.asarray(hub_ids, dtype=np.int64)
-        if self._cache.miss_ratio != 0.0:
-            return sum(self.update(int(hub), meter) for hub in ids)
+        if len(ids) == 0:
+            return 0.0
         per_bank = np.bincount(ids % self.num_banks, minlength=self.num_banks)
         for bank in np.flatnonzero(per_bank):
             self.bank_updates[bank] += int(per_bank[bank])
-        self._cache.access(len(ids))
-        return 0.0
+        return self._cache.access_uniform(
+            len(ids),
+            bytes_per_access=2 * self.row_bytes,
+            meter=meter,
+            category="dhub-prc-spill",
+        )
 
     @property
     def updates(self) -> int:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.types import IslandizationResult
+from repro.errors import SimulationError
 
 __all__ = ["InterHubPlan", "build_interhub_plan"]
 
@@ -36,6 +37,35 @@ class InterHubPlan:
     def macs(self, out_dim: int) -> int:
         """MACs at a given feature width."""
         return self.num_ops * out_dim
+
+    def validate_targets(self, hub_pos: np.ndarray) -> None:
+        """Raise unless every aggregation target of this plan is a hub.
+
+        ``hub_pos`` maps node id → hub row index (-1 for non-hubs).
+        The consumer runs this in *both* counting and functional mode:
+        a malformed plan used to be caught only when features were
+        supplied, while counts mode silently accounted ops for it.
+        Out-of-range ids (negative or ≥ num_nodes) are rejected too —
+        a raw ``hub_pos[-1]`` gather would silently wrap to the last
+        node instead.
+        """
+        if len(self.directed_edges):
+            self._check_hubs(self.directed_edges[:, 0], hub_pos, "target")
+        if len(self.self_loop_hubs):
+            self._check_hubs(self.self_loop_hubs, hub_pos, "self-loop node")
+
+    @staticmethod
+    def _check_hubs(ids: np.ndarray, hub_pos: np.ndarray, what: str) -> None:
+        n = len(hub_pos)
+        pos = np.full(len(ids), -1, dtype=np.int64)
+        in_range = (ids >= 0) & (ids < n)
+        if in_range.any():
+            pos[in_range] = hub_pos[ids[in_range]]
+        if pos.min() < 0:
+            raise SimulationError(
+                f"inter-hub plan references a node outside hub_ids: "
+                f"{what} {int(ids[int(pos.argmin())])} is not a hub"
+            )
 
 
 def build_interhub_plan(

@@ -1,0 +1,21 @@
+"""Small shared NumPy idioms used across the batched kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cumsum0"]
+
+
+def cumsum0(values) -> np.ndarray:
+    """Exclusive-prefix-sum with a leading zero (CSR-style offsets).
+
+    ``cumsum0(counts)[t] .. cumsum0(counts)[t + 1]`` is element ``t``'s
+    slice of a flat array partitioned by ``counts`` — the offsets idiom
+    every batched kernel (locator, consumer, pre-aggregation layout)
+    leans on.
+    """
+    values = np.asarray(values)
+    out = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:])
+    return out

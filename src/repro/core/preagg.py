@@ -28,11 +28,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.nputil import cumsum0
+
 __all__ = [
     "ScanCounts",
     "scan_costs",
     "scan_aggregate",
     "group_layout",
+    "group_layout_batch",
+    "classify_windows",
 ]
 
 
@@ -99,6 +103,59 @@ def group_layout(
     )
 
 
+def group_layout_batch(
+    boundaries: np.ndarray, num_cols: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`group_layout` over many bitmaps at once.
+
+    Returns ``(groups_per_task, group_offsets, starts_flat,
+    widths_flat)``: task ``t``'s groups occupy
+    ``starts_flat[group_offsets[t]:group_offsets[t + 1]]`` and hold
+    exactly the values ``group_layout(num_cols[t], k,
+    boundary=boundaries[t])`` would produce.
+    """
+    bound = np.asarray(boundaries, dtype=np.int64)
+    cols = np.asarray(num_cols, dtype=np.int64)
+    hub_groups = (bound + k - 1) // k
+    groups = hub_groups + (cols - bound + k - 1) // k
+    offsets = cumsum0(groups)
+    total = int(offsets[-1])
+    gtask = np.repeat(np.arange(len(bound), dtype=np.int64), groups)
+    grank = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], groups)
+    in_hub = grank < hub_groups[gtask]
+    starts = np.where(
+        in_hub, grank * k, bound[gtask] + (grank - hub_groups[gtask]) * k
+    )
+    ends = np.where(in_hub, bound[gtask], cols[gtask])
+    widths = np.minimum(k, ends - starts)
+    return groups, offsets, starts, widths
+
+
+def classify_windows(
+    z: np.ndarray, widths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Elementwise add-vs-subtract window classification.
+
+    ``z`` holds per-window non-zero counts, ``widths`` the window
+    widths (any mutually broadcastable shapes).  Returns ``(full,
+    subtract, direct, cost)``: the three masks partition the non-empty
+    windows and ``cost`` is each window's op count.  Shared by the
+    per-bitmap scans below and the batched multi-island consumer so
+    every path classifies identically.
+    """
+    direct = z
+    reuse = 1 + (widths - z)
+    single = widths == 1
+    cost = np.where(z == 0, 0, np.minimum(direct, reuse))
+    cost = np.where(single, direct, cost)
+
+    nonzero = z > 0
+    full = nonzero & (z == widths) & ~single
+    subtract = nonzero & ~full & (reuse < direct) & ~single
+    direct_mask = nonzero & ~full & ~subtract
+    return full, subtract, direct_mask, cost
+
+
 def _window_classes(
     bitmap: np.ndarray, starts: np.ndarray, widths: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -114,17 +171,7 @@ def _window_classes(
     np.cumsum(bitmap, axis=1, out=prefix[:, 1:])
     ends = starts + widths
     z = prefix[:, ends] - prefix[:, starts]
-
-    direct = z
-    reuse = 1 + (widths[None, :] - z)
-    single = widths[None, :] == 1
-    cost = np.where(z == 0, 0, np.minimum(direct, reuse))
-    cost = np.where(single, direct, cost)
-
-    nonzero = z > 0
-    full = nonzero & (z == widths[None, :]) & ~single
-    subtract = nonzero & ~full & (reuse < direct) & ~single
-    direct_mask = nonzero & ~full & ~subtract
+    full, subtract, direct_mask, cost = classify_windows(z, widths[None, :])
     return z, full, subtract, direct_mask, cost
 
 

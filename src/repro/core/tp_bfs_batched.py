@@ -62,6 +62,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import connected_components
 
+from repro.core.nputil import cumsum0
 from repro.core.tp_bfs import TaskOutcome
 from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
@@ -367,8 +368,7 @@ def _component_labels(
     keep = active[rows] & active[graph.indices]
     sub_cols = relabel[graph.indices[keep]]
     per_row = np.bincount(rows[keep], minlength=n)[active_ids]
-    sub_indptr = np.zeros(len(active_ids) + 1, dtype=np.int64)
-    np.cumsum(per_row, out=sub_indptr[1:])
+    sub_indptr = cumsum0(per_row)
     sub = csr_matrix(
         (np.ones(len(sub_cols), dtype=np.int8), sub_cols, sub_indptr),
         shape=(len(active_ids), len(active_ids)),
@@ -437,8 +437,7 @@ def _multi_source_bfs(
     order = np.argsort(owners, kind="stable")
     nodes = all_nodes[order]
     counts = np.bincount(owners, minlength=num)
-    offsets = np.zeros(num + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
+    offsets = cumsum0(counts)
 
     degrees = indptr[1:] - indptr[:-1]
     scans = np.bincount(owners, weights=degrees[all_nodes],
@@ -456,8 +455,7 @@ def _multi_source_bfs(
     h_order = np.argsort(ho, kind="stable")
     hh = hh[h_order]
     h_counts = np.bincount(ho, minlength=num)
-    h_offsets = np.zeros(num + 1, dtype=np.int64)
-    np.cumsum(h_counts, out=h_offsets[1:])
+    h_offsets = cumsum0(h_counts)
 
     islands = [
         (

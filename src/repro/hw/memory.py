@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["TrafficMeter", "CacheModel", "effective_offchip_bytes"]
 
 #: Read-mostly traffic classes eligible for on-chip residence in the
@@ -144,6 +146,60 @@ class CacheModel:
         missed = count * self.miss_ratio
         self.misses += missed
         spilled = int(round(missed * bytes_per_access))
+        if meter is not None and spilled > 0:
+            meter.read(category or self.name, spilled)
+        return float(spilled)
+
+    def access_batch(self, counts, *, bytes_per_access: int = 0,
+                     meter: TrafficMeter | None = None,
+                     category: str = "") -> float:
+        """Record many :meth:`access` calls at once.
+
+        ``counts`` is an array of per-call access counts.  ``accesses``
+        and the spilled bytes are identical to the sequential loop: the
+        bytes are rounded *per call* — ``round((count * miss_ratio) *
+        bytes_per_access)`` each — so a meter charged by the batch
+        reads the same total as one charged call-by-call (``np.rint``
+        and Python's ``round`` share round-half-to-even).  Only the
+        float ``misses`` diagnostic is summed in a different order and
+        may differ from the loop in its last ulps; nothing derives
+        from it.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ValueError("access count must be non-negative")
+        self.accesses += int(counts.sum())
+        ratio = self.miss_ratio
+        if ratio == 0.0 or counts.size == 0:
+            return 0.0
+        missed = counts.astype(np.float64) * ratio
+        self.misses += float(missed.sum())
+        spilled = int(np.rint(missed * bytes_per_access).sum())
+        if meter is not None and spilled > 0:
+            meter.read(category or self.name, spilled)
+        return float(spilled)
+
+    def access_uniform(self, num_calls: int, *, bytes_per_access: int = 0,
+                       meter: TrafficMeter | None = None,
+                       category: str = "") -> float:
+        """Record ``num_calls`` single accesses in O(1).
+
+        Every call has count 1, so each spills the same
+        ``round(miss_ratio * bytes_per_access)`` bytes — the per-call
+        rounding of :meth:`access` multiplied out instead of looped
+        (the hub caches' bulk-update paths depend on this parity for
+        ``accesses`` and meter bytes).  As in :meth:`access_batch`, the
+        float ``misses`` diagnostic may differ from a literal loop in
+        its last ulps.
+        """
+        if num_calls < 0:
+            raise ValueError("access count must be non-negative")
+        self.accesses += num_calls
+        ratio = self.miss_ratio
+        if ratio == 0.0 or num_calls == 0:
+            return 0.0
+        self.misses += num_calls * ratio
+        spilled = num_calls * int(round(ratio * bytes_per_access))
         if meter is not None and spilled > 0:
             meter.read(category or self.name, spilled)
         return float(spilled)

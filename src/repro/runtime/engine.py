@@ -35,7 +35,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Iterable, Sequence
 
-from repro.core.config import LocatorConfig
+from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.islandizer import IslandLocator
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError, SimulationError
@@ -101,6 +101,12 @@ class Engine:
         Default Island Locator configuration used for islandization
         artifacts (a simulator with a different locator config gets its
         own cache entries — the config is part of the key).
+    consumer:
+        Default Island Consumer configuration for locator-backed
+        simulators.  Like the locator config it is part of every
+        locator-dependent report/summary cache key, so engines with
+        different consumer settings (backend included) sharing one
+        disk store never serve each other's rows.
     store:
         Explicit :class:`~repro.runtime.store.ArtifactStore` stack.
         Mutually exclusive with ``cache_dir``.
@@ -115,12 +121,14 @@ class Engine:
         self,
         *,
         locator: LocatorConfig | None = None,
+        consumer: ConsumerConfig | None = None,
         store: ArtifactStore | None = None,
         cache_dir: str | None = None,
     ) -> None:
         if store is not None and cache_dir is not None:
             raise ConfigError("pass either store= or cache_dir=, not both")
         self.locator_config = locator or LocatorConfig()
+        self.consumer_config = consumer or ConsumerConfig()
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.store = store if store is not None else build_store(self.cache_dir)
         self._stats: dict[str, CacheStats] = {n: CacheStats() for n in _CACHE_NAMES}
@@ -285,11 +293,12 @@ class Engine:
         For platforms that consume islandizations (``uses_locator``,
         currently igcn — unknown simulator classes are treated as
         locator-dependent to be safe) the key includes the engine's
-        effective locator config digest: two engines with different
-        :class:`LocatorConfig` values sharing a disk tier must not
-        serve each other's reports/summaries.  Locator-independent
-        baselines omit it, so their cached rows are shared across
-        locator settings instead of being pointlessly recomputed.
+        effective locator *and* consumer config digests: two engines
+        with different :class:`LocatorConfig`/:class:`ConsumerConfig`
+        values sharing a disk tier must not serve each other's
+        reports/summaries.  Locator-independent baselines omit both,
+        so their cached rows are shared across those settings instead
+        of being pointlessly recomputed.
         """
         name = resolve_name(platform)
         parts = [
@@ -300,6 +309,7 @@ class Engine:
         ]
         if getattr(get_simulator(name), "uses_locator", True):
             parts.append(f"loc={config_digest(self.locator_config)}")
+            parts.append(f"con={config_digest(self.consumer_config)}")
         return "|".join(parts)
 
     def simulate(
@@ -407,7 +417,7 @@ class Engine:
         jobs = [
             (
                 name, scale, seed, spec, variant, tuple(platforms),
-                self.locator_config, worker_cache_dir,
+                self.locator_config, self.consumer_config, worker_cache_dir,
             )
             for name in datasets
             for spec in models
@@ -432,7 +442,8 @@ class Engine:
 
     def _sweep_unit(self, job: tuple) -> list[dict[str, object]]:
         """All platform rows of one (dataset, model) sweep cell."""
-        name, scale, seed, spec, variant, platforms, _locator, _cache_dir = job
+        (name, scale, seed, spec, variant, platforms,
+         _locator, _consumer, _cache_dir) = job
         ds = self.dataset(name, scale=scale, seed=seed)
         model = _model_for(ds, spec, variant)
         return [self.summary(platform, ds, model) for platform in platforms]
@@ -458,11 +469,14 @@ class Engine:
         return {kind: (s.hits, s.misses) for kind, s in self._stats.items()}
 
 
-#: Per-worker-process engines, keyed by (locator config, cache dir), so
-#: sweep units that land in the same pool worker share datasets and
-#: islandizations just like the serial path does — and, with a cache
-#: dir, share the persistent disk tier with every other worker.
-_WORKER_ENGINES: dict[tuple[LocatorConfig, str | None], Engine] = {}
+#: Per-worker-process engines, keyed by (locator config, consumer
+#: config, cache dir), so sweep units that land in the same pool worker
+#: share datasets and islandizations just like the serial path does —
+#: and, with a cache dir, share the persistent disk tier with every
+#: other worker.
+_WORKER_ENGINES: dict[
+    tuple[LocatorConfig, ConsumerConfig, str | None], Engine
+] = {}
 
 
 def _sweep_worker(
@@ -474,11 +488,12 @@ def _sweep_worker(
     the unit, so the coordinating engine can aggregate hit/miss
     counters across workers.
     """
-    locator, cache_dir = job[-2], job[-1]
-    engine = _WORKER_ENGINES.get((locator, cache_dir))
+    locator, consumer, cache_dir = job[-3], job[-2], job[-1]
+    engine = _WORKER_ENGINES.get((locator, consumer, cache_dir))
     if engine is None:
         engine = _WORKER_ENGINES.setdefault(
-            (locator, cache_dir), Engine(locator=locator, cache_dir=cache_dir)
+            (locator, consumer, cache_dir),
+            Engine(locator=locator, consumer=consumer, cache_dir=cache_dir),
         )
     before = engine._stats_snapshot()
     rows = engine._sweep_unit(job)

@@ -91,10 +91,11 @@ class IGCNSimulator:
         consumer: ConsumerConfig | None = None,
     ) -> None:
         self._hw = hw
-        self._consumer = consumer
-        #: None means "no explicit locator": an Engine's locator config
-        #: takes precedence so Engine(locator=...) behaves as documented.
+        #: None means "no explicit config": an Engine's locator/consumer
+        #: configs take precedence so Engine(locator=..., consumer=...)
+        #: behaves as documented.
         self._explicit_locator = locator
+        self._explicit_consumer = consumer
         self.accelerator = IGCNAccelerator(hw=hw, locator=locator, consumer=consumer)
 
     def simulate(
@@ -109,14 +110,24 @@ class IGCNSimulator:
     ) -> BaseReport:
         """Simulate one I-GCN inference (see :meth:`IGCNAccelerator.run`)."""
         accelerator = self.accelerator
-        if (
-            self._explicit_locator is None
-            and engine is not None
-            and engine.locator_config != accelerator.locator_config
-        ):
-            accelerator = IGCNAccelerator(
-                hw=self._hw, locator=engine.locator_config, consumer=self._consumer
+        if engine is not None:
+            locator = (
+                self._explicit_locator
+                if self._explicit_locator is not None
+                else engine.locator_config
             )
+            consumer = (
+                self._explicit_consumer
+                if self._explicit_consumer is not None
+                else engine.consumer_config
+            )
+            if (
+                locator != accelerator.locator_config
+                or consumer != accelerator.consumer_config
+            ):
+                accelerator = IGCNAccelerator(
+                    hw=self._hw, locator=locator, consumer=consumer
+                )
         if islandization is None and engine is not None:
             islandization = engine.islandization(
                 graph, accelerator.locator_config

@@ -305,6 +305,46 @@ class DiskStore(ArtifactStore):
                 out[kind] = (len(files), sum(p.stat().st_size for p in files))
         return out
 
+    def evict(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used artifacts until ≤ ``max_bytes``.
+
+        Recency is file mtime — a read does not touch it, so this is
+        LRU by *write/promotion* time, which is the granularity a
+        shared sweep store needs: long campaigns keep their freshest
+        islandizations and shed the oldest first.  Returns ``(removed
+        artifact count, removed bytes)``.  Files vanishing concurrently
+        (another worker's evict, a clear) just count as already gone.
+        """
+        if max_bytes < 0:
+            raise ConfigError("max_bytes must be non-negative")
+        files: list[tuple[float, int, Path]] = []
+        for kind in self.CODECS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in self._artifact_files(directory):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in files)
+        removed = freed = 0
+        for _, size, path in sorted(files, key=lambda f: f[0]):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass  # raced with another worker's evict/clear: gone anyway
+            except OSError:
+                continue  # still on disk (permissions?): keep it in `total`
+            else:
+                removed += 1
+                freed += size
+            total -= size
+        return removed, freed
+
 
 class TieredStore(ArtifactStore):
     """A stack of stores: reads promote upward, writes go everywhere.

@@ -70,6 +70,17 @@ class TestIslandTask:
         # 3 member-member undirected (6 directed) + 3 member-hub (6 directed)
         assert task.nnz == 12
 
+    def test_nnz_is_cached(self, small_island_setup):
+        # Read repeatedly per layer by the schedule/cost models: the
+        # popcount must run once, then come from the instance dict.
+        g, island = small_island_setup
+        task = build_island_task(g, island, add_self_loops=False)
+        assert "nnz" not in task.__dict__
+        first = task.nnz
+        assert task.__dict__["nnz"] == first
+        task.__dict__["nnz"] = first + 7  # prove later reads skip the sum
+        assert task.nnz == first + 7
+
     def test_member_and_hub_node_views(self, small_island_setup):
         g, island = small_island_setup
         task = build_island_task(g, island, add_self_loops=False)

@@ -42,11 +42,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--locator-backend", "simd"])
 
+    def test_consumer_backend_defaults_batched(self):
+        for command in (["run"], ["compare"], ["sweep"]):
+            assert (
+                build_parser().parse_args(command).consumer_backend
+                == "batched"
+            )
+
+    def test_consumer_backend_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--consumer-backend", "scalar"]
+        )
+        assert args.consumer_backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--consumer-backend", "simd"])
+
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench", "locator"])
         assert args.suite == "locator"
         assert args.output is None  # resolved to BENCH_locator.json
         assert "1e3" in args.tiers
+
+    def test_bench_consumer_suite(self):
+        args = build_parser().parse_args(["bench", "consumer"])
+        assert args.suite == "consumer"
+        assert args.preagg_k == 6
+
+    def test_islandize_has_no_consumer_backend_flag(self):
+        # islandize stops at the locator; accepting the flag would be a
+        # silent no-op.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["islandize", "--consumer-backend", "scalar"]
+            )
+
+    def test_bench_locator_rejects_preagg_k(self, capsys):
+        code = main(["bench", "locator", "--tiers", "1e3", "--repeats", "1",
+                     "--preagg-k", "12"])
+        assert code == 2
+        assert "consumer suite" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -77,6 +111,29 @@ class TestCommands:
               "--locator-backend", "scalar"])
         scalar = capsys.readouterr().out
         assert scalar == batched
+
+    def test_run_scalar_consumer_backend_same_output(self, capsys):
+        main(["run", "--dataset", "cora", "--scale", "0.1"])
+        batched = capsys.readouterr().out
+        main(["run", "--dataset", "cora", "--scale", "0.1",
+              "--consumer-backend", "scalar"])
+        scalar = capsys.readouterr().out
+        assert scalar == batched
+
+    def test_bench_consumer_writes_record(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        code = main(["bench", "consumer", "--tiers", "1e3", "--repeats", "1",
+                     "--output", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consumer backend scaling" in out
+        import json
+
+        record = json.loads(out_file.read_text())
+        assert record["benchmark"] == "consumer-scale"
+        assert record["tiers"][0]["tier"] == "1e3"
+        assert record["tiers"][0]["equal"] is True
+        assert record["tiers"][0]["functional_verified"] is True
 
     def test_bench_locator_writes_record(self, capsys, tmp_path):
         out_file = tmp_path / "bench.json"

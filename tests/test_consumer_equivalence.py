@@ -1,0 +1,396 @@
+"""Batched-vs-scalar consumer backend equivalence.
+
+The batched consumer's contract is *exact* equality with the scalar
+per-island oracle: identical :class:`LayerCounts` (every
+:class:`ScanCounts` field included), DRAM traffic meters, ring
+statistics, HUB-XW-cache access counts, DHUB-PRC update totals and
+per-bank counters — and, in functional mode, byte-identical output
+matrices.  These tests pin that contract across graph families,
+normalisation kinds (self-loops on/off), ``preagg_k`` × ``num_pes``
+sweeps, spilling on-chip caches (per-call byte rounding), degenerate
+0-island / 0-hub / single-node graphs, and a hypothesis sweep over
+random graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConsumerConfig,
+    IslandConsumer,
+    LocatorConfig,
+    TaskBatch,
+    build_interhub_plan,
+    islandize,
+    prepare_tasks,
+)
+from repro.core.consumer import execution_mismatch
+from repro.core.interhub import InterHubPlan
+from repro.errors import ConfigError, SimulationError
+from repro.graph import CSRGraph, GraphBuilder, erdos_renyi, hub_island_graph
+from repro.graph.generators import CommunityProfile, barabasi_albert
+from repro.hw import IGCN_DEFAULT, TrafficMeter
+from repro.hw.config import HardwareConfig
+from repro.models import LayerSpec, normalization_for
+
+_LAYERS = (
+    LayerSpec(12, 16, activation="relu"),
+    LayerSpec(16, 5, activation="none"),
+)
+
+
+def _run_backend(
+    graph,
+    result,
+    backend,
+    *,
+    agg="gcn-sym",
+    preagg_k=6,
+    num_pes=8,
+    functional=False,
+    hw=None,
+    seed=0,
+    layers=_LAYERS,
+):
+    """One full multi-layer pass; returns everything the contract pins."""
+    norm = normalization_for(graph, agg)
+    plan = build_interhub_plan(result, add_self_loops=norm.add_self_loops)
+    consumer = IslandConsumer(
+        ConsumerConfig(preagg_k=preagg_k, num_pes=num_pes, backend=backend),
+        hw or IGCN_DEFAULT,
+    )
+    tasks = consumer.prepare(result, add_self_loops=norm.add_self_loops)
+    rng = np.random.default_rng(seed)
+    current = (
+        rng.normal(size=(graph.num_nodes, layers[0].in_dim))
+        if functional else None
+    )
+    weights = (
+        [rng.normal(size=(layer.in_dim, layer.out_dim)) for layer in layers]
+        if functional else None
+    )
+    runs = []
+    for idx, layer in enumerate(layers):
+        meter = TrafficMeter()
+        execution = consumer.run_layer(
+            result, tasks, plan, norm, layer,
+            layer_index=idx, meter=meter,
+            x=current if functional else None,
+            w=weights[idx] if functional else None,
+            feature_density=0.5 if idx == 0 else 1.0,
+            final_layer=idx == len(layers) - 1,
+        )
+        runs.append((execution, meter))
+        if functional:
+            current = execution.output
+    return runs, consumer.ring.stats
+
+
+def assert_equivalent(graph, *, locator_kwargs=None, **kwargs):
+    """Both backends must agree exactly, counts and functional mode."""
+    clean = graph.without_self_loops()
+    result = islandize(clean, LocatorConfig(**(locator_kwargs or {})))
+    for functional in (False, True):
+        scalar, s_ring = _run_backend(
+            clean, result, "scalar", functional=functional, **kwargs
+        )
+        batched, b_ring = _run_backend(
+            clean, result, "batched", functional=functional, **kwargs
+        )
+        assert s_ring == b_ring
+        for (s_exec, s_meter), (b_exec, b_meter) in zip(scalar, batched):
+            # One shared contract definition with the benchmark's
+            # per-tier verification (repro.core.consumer).
+            mismatch = execution_mismatch(
+                s_exec, s_meter, b_exec, b_meter, functional=functional
+            )
+            assert mismatch is None, mismatch
+
+
+class TestGraphFamilies:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hub_island(self, seed):
+        graph, _ = hub_island_graph(
+            300,
+            CommunityProfile(hub_fraction=0.04, background_fraction=0.03),
+            seed=seed,
+        )
+        assert_equivalent(graph)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_erdos_renyi(self, seed):
+        assert_equivalent(erdos_renyi(200, 4.0, seed=seed))
+
+    def test_power_law(self):
+        # Heavy hubs: many islands attach to the same hub, exercising
+        # the ordered multi-contribution fold into DHUB-PRC rows.
+        assert_equivalent(barabasi_albert(250, 3, seed=1))
+
+    def test_fig7(self, fig7):
+        graph, _, _ = fig7
+        assert_equivalent(graph, locator_kwargs={"th0": 4})
+
+    def test_clique_small_cmax(self):
+        assert_equivalent(
+            GraphBuilder(30).add_clique(range(30)).build(),
+            locator_kwargs={"c_max": 6},
+        )
+
+
+class TestNormalisationKinds:
+    """Self-loop handling differs per aggregation: all must agree."""
+
+    @pytest.mark.parametrize("agg", ["gcn-sym", "sage-mean", "gin-sum"])
+    def test_aggregations(self, agg, community_graph):
+        graph, _ = community_graph
+        assert_equivalent(graph, agg=agg)
+
+
+class TestConfigSweep:
+    @pytest.mark.parametrize("preagg_k", [2, 3, 7, 64])
+    def test_preagg_widths(self, preagg_k, community_graph):
+        graph, _ = community_graph
+        assert_equivalent(graph, preagg_k=preagg_k)
+
+    @pytest.mark.parametrize("num_pes", [1, 3, 8, 17])
+    def test_pe_counts(self, num_pes, community_graph):
+        graph, _ = community_graph
+        assert_equivalent(graph, num_pes=num_pes)
+
+    def test_small_cmax_many_islands(self, community_graph):
+        graph, _ = community_graph
+        assert_equivalent(graph, locator_kwargs={"c_max": 3})
+
+
+class TestChunkedFunctionalScan:
+    def test_tiny_chunks_stay_exact(self, monkeypatch, community_graph):
+        # Force every shape group through many small chunks: chunk
+        # boundaries must not change a single bit of the contract.
+        import repro.core.consumer_batched as consumer_batched
+
+        monkeypatch.setattr(consumer_batched, "_CHUNK_CELLS", 64)
+        graph, _ = community_graph
+        assert_equivalent(graph)
+
+
+class TestSpillingCaches:
+    """Undersized on-chip caches: per-call spill rounding must match."""
+
+    def test_spilling_hub_structures(self, community_graph):
+        graph, _ = community_graph
+        tiny = HardwareConfig(hub_xw_cache_bytes=96, hub_prc_bytes=128)
+        assert_equivalent(graph, hw=tiny)
+
+    def test_spilling_star(self, star):
+        tiny = HardwareConfig(hub_xw_cache_bytes=16, hub_prc_bytes=16)
+        assert_equivalent(graph=star, hw=tiny, locator_kwargs={"th0": 3})
+
+
+class TestDegenerateGraphs:
+    def test_zero_nodes(self):
+        assert_equivalent(CSRGraph.empty(0))
+
+    def test_isolated_nodes_no_hubs(self):
+        # Singleton islands, zero hubs, zero inter-hub edges.
+        assert_equivalent(CSRGraph.empty(6))
+
+    def test_single_node(self):
+        assert_equivalent(CSRGraph.empty(1))
+
+    def test_star_single_hub(self, star):
+        assert_equivalent(star, locator_kwargs={"th0": 3})
+
+    def test_path(self, path4):
+        assert_equivalent(path4)
+
+    def test_two_node_components(self):
+        builder = GraphBuilder(10)
+        for i in range(0, 10, 2):
+            builder.add_edge(i, i + 1)
+        assert_equivalent(builder.build())
+
+
+class TestBackendConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            ConsumerConfig(backend="simd")
+
+    def test_default_backend_is_batched(self):
+        assert ConsumerConfig().backend == "batched"
+        assert IslandConsumer().config.backend == "batched"
+
+    def test_backend_is_part_of_config_digest(self):
+        # Cached artifacts keyed by config digest must never mix
+        # backends (shared artifact stores across processes).
+        from repro.serialize import config_digest
+
+        assert config_digest(ConsumerConfig(backend="batched")) != (
+            config_digest(ConsumerConfig(backend="scalar"))
+        )
+
+    def test_prepare_returns_backend_representation(self, community_graph):
+        graph, _ = community_graph
+        result = islandize(graph.without_self_loops())
+        batch = IslandConsumer(ConsumerConfig(backend="batched")).prepare(
+            result, add_self_loops=True
+        )
+        assert isinstance(batch, TaskBatch)
+        tasks = IslandConsumer(ConsumerConfig(backend="scalar")).prepare(
+            result, add_self_loops=True
+        )
+        assert isinstance(tasks, list)
+
+    def test_scalar_backend_rejects_task_batch(self, community_graph):
+        graph, _ = community_graph
+        clean = graph.without_self_loops()
+        result = islandize(clean)
+        norm = normalization_for(clean, "gcn-sym")
+        plan = build_interhub_plan(result, add_self_loops=True)
+        batch = TaskBatch.from_result(result, add_self_loops=True)
+        consumer = IslandConsumer(ConsumerConfig(backend="scalar"))
+        with pytest.raises(SimulationError):
+            consumer.run_layer(
+                result, batch, plan, norm, _LAYERS[0],
+                layer_index=0, meter=TrafficMeter(),
+            )
+
+    def test_batched_backend_accepts_task_list(self, community_graph):
+        # Convenience conversion: a prepare_tasks() list fed to the
+        # batched backend is packed on the fly and must still match.
+        graph, _ = community_graph
+        clean = graph.without_self_loops()
+        result = islandize(clean)
+        norm = normalization_for(clean, "gcn-sym")
+        plan = build_interhub_plan(result, add_self_loops=True)
+        tasks = prepare_tasks(result, add_self_loops=True)
+        runs = {}
+        for backend in ("scalar", "batched"):
+            consumer = IslandConsumer(ConsumerConfig(backend=backend))
+            execution = consumer.run_layer(
+                result, tasks, plan, norm, _LAYERS[0],
+                layer_index=0, meter=TrafficMeter(),
+            )
+            runs[backend] = (execution, consumer.ring.stats)
+        assert runs["scalar"][0].counts == runs["batched"][0].counts
+        assert runs["scalar"][1] == runs["batched"][1]
+
+    def test_task_batch_matches_prepare_tasks(self, community_graph):
+        """from_result packs exactly the bitmaps prepare_tasks builds."""
+        graph, _ = community_graph
+        result = islandize(graph.without_self_loops())
+        for add_self_loops in (False, True):
+            tasks = prepare_tasks(result, add_self_loops=add_self_loops)
+            batch = TaskBatch.from_result(
+                result, add_self_loops=add_self_loops
+            )
+            ref = TaskBatch.from_tasks(tasks)
+            assert batch.num_tasks == len(tasks)
+            for name in ("num_hubs", "num_locals", "local_nodes",
+                         "local_offsets", "hub_nodes", "hub_offsets",
+                         "entry_task", "entry_row", "entry_col", "nnz"):
+                assert np.array_equal(
+                    getattr(batch, name), getattr(ref, name)
+                ), name
+            assert np.array_equal(
+                batch.nnz, np.asarray([t.nnz for t in tasks], dtype=np.int64)
+            )
+
+
+class TestInterhubValidation:
+    """The malformed-plan check must fire in counts mode too (PR fix)."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    def test_counts_mode_rejects_non_hub_target(
+        self, backend, community_graph
+    ):
+        graph, _ = community_graph
+        clean = graph.without_self_loops()
+        result = islandize(clean)
+        norm = normalization_for(clean, "gcn-sym")
+        member = int(result.islands[0].members[0])
+        hub = int(result.hub_ids[0])
+        bad = InterHubPlan(
+            directed_edges=np.asarray([[member, hub]], dtype=np.int64),
+            self_loop_hubs=np.zeros(0, dtype=np.int64),
+        )
+        consumer = IslandConsumer(ConsumerConfig(backend=backend))
+        tasks = consumer.prepare(result, add_self_loops=True)
+        with pytest.raises(SimulationError, match="outside hub_ids"):
+            consumer.run_layer(
+                result, tasks, bad, norm, _LAYERS[0],
+                layer_index=0, meter=TrafficMeter(),
+            )
+
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    @pytest.mark.parametrize("bogus", [-1, 10_000_000])
+    def test_rejects_out_of_range_target(
+        self, backend, bogus, community_graph
+    ):
+        # Negative ids must not wrap through Python indexing (hub_pos[-1]
+        # is the last node, which may legitimately be a hub) and huge
+        # ids must raise the clean error, not IndexError.
+        graph, _ = community_graph
+        clean = graph.without_self_loops()
+        result = islandize(clean)
+        norm = normalization_for(clean, "gcn-sym")
+        hub = int(result.hub_ids[0])
+        bad = InterHubPlan(
+            directed_edges=np.asarray([[bogus, hub]], dtype=np.int64),
+            self_loop_hubs=np.zeros(0, dtype=np.int64),
+        )
+        consumer = IslandConsumer(ConsumerConfig(backend=backend))
+        tasks = consumer.prepare(result, add_self_loops=True)
+        with pytest.raises(SimulationError, match="outside hub_ids"):
+            consumer.run_layer(
+                result, tasks, bad, norm, _LAYERS[0],
+                layer_index=0, meter=TrafficMeter(),
+            )
+
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    def test_counts_mode_rejects_non_hub_self_loop(
+        self, backend, community_graph
+    ):
+        graph, _ = community_graph
+        clean = graph.without_self_loops()
+        result = islandize(clean)
+        norm = normalization_for(clean, "gcn-sym")
+        member = int(result.islands[0].members[0])
+        bad = InterHubPlan(
+            directed_edges=np.zeros((0, 2), dtype=np.int64),
+            self_loop_hubs=np.asarray([member], dtype=np.int64),
+        )
+        consumer = IslandConsumer(ConsumerConfig(backend=backend))
+        tasks = consumer.prepare(result, add_self_loops=True)
+        with pytest.raises(SimulationError, match="outside hub_ids"):
+            consumer.run_layer(
+                result, tasks, bad, norm, _LAYERS[0],
+                layer_index=0, meter=TrafficMeter(),
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=60),
+    num_edges=st.integers(min_value=0, max_value=220),
+    c_max=st.integers(min_value=1, max_value=80),
+    preagg_k=st.sampled_from([2, 3, 6, 11]),
+    num_pes=st.sampled_from([1, 4, 8]),
+    edge_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_random_graphs_property(
+    num_nodes, num_edges, c_max, preagg_k, num_pes, edge_seed
+):
+    """Hypothesis sweep: arbitrary symmetric graphs and configs agree."""
+    rng = np.random.default_rng(edge_seed)
+    rows = rng.integers(0, num_nodes, size=num_edges)
+    cols = rng.integers(0, num_nodes, size=num_edges)
+    keep = rows != cols
+    graph = CSRGraph.from_edges(num_nodes, rows[keep], cols[keep], name="hyp")
+    assert_equivalent(
+        graph,
+        locator_kwargs={"c_max": c_max},
+        preagg_k=preagg_k,
+        num_pes=num_pes,
+    )

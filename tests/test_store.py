@@ -255,6 +255,74 @@ class TestDiskStore:
         assert not orphan.exists()
 
 
+class TestEviction:
+    """Size-bounded LRU-by-mtime eviction of the disk tier."""
+
+    @staticmethod
+    def _total_bytes(store: DiskStore) -> int:
+        return sum(size for _, size in store.entries().values())
+
+    def _populated(self, tmp_path, count=4):
+        store = DiskStore(tmp_path)
+        import os
+
+        for i in range(count):
+            store.put("summary", f"k{i}", {"row": i, "pad": "x" * 256})
+            # Distinct, strictly increasing mtimes without sleeping.
+            path = store._path("summary", f"k{i}")
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return store
+
+    def test_evicts_oldest_first_down_to_budget(self, tmp_path):
+        store = self._populated(tmp_path)
+        sizes = [
+            store._path("summary", f"k{i}").stat().st_size for i in range(4)
+        ]
+        budget = sizes[2] + sizes[3]  # room for exactly the newest two
+        removed, freed = store.evict(budget)
+        assert removed == 2
+        assert freed == sizes[0] + sizes[1]
+        assert not store._path("summary", "k0").exists()
+        assert not store._path("summary", "k1").exists()
+        assert store.get("summary", "k2") is not MISS
+        assert store.get("summary", "k3") is not MISS
+        assert self._total_bytes(store) <= budget
+
+    def test_evict_zero_budget_clears_everything(self, tmp_path):
+        store = self._populated(tmp_path)
+        removed, _ = store.evict(0)
+        assert removed == 4
+        assert store.entries() == {}
+
+    def test_evict_noop_when_under_budget(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert store.evict(10_000_000) == (0, 0)
+        assert store.entries()["summary"][0] == 4
+
+    def test_evict_spans_kinds_by_age(self, tmp_path, small_cora):
+        import os
+
+        store = DiskStore(tmp_path)
+        store.put("clean_graph", "old", small_cora.graph)
+        os.utime(store._path("clean_graph", "old"), (1, 1))
+        store.put("summary", "new", {"row": 1})
+        os.utime(store._path("summary", "new"), (2_000_000_000, 2_000_000_000))
+        graph_bytes = store._path("clean_graph", "old").stat().st_size
+        removed, freed = store.evict(self._total_bytes(store) - 1)
+        assert removed == 1 and freed == graph_bytes
+        assert store.get("clean_graph", "old") is MISS
+        assert store.get("summary", "new") is not MISS
+
+    def test_evict_rejects_negative_budget(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DiskStore(tmp_path).evict(-1)
+
+    def test_evict_missing_root_is_noop(self, tmp_path):
+        assert DiskStore(tmp_path / "absent").evict(0) == (0, 0)
+
+
 class TestTieredStore:
     def test_lower_tier_hit_promotes(self, small_cora, tmp_path):
         memory, disk = MemoryStore(), DiskStore(tmp_path)
@@ -390,6 +458,34 @@ class TestEngineWarmStart:
         other.sweep(self.DATASETS, ("awb",), **self.SWEEP)
         assert other.cache_stats()["summary"].misses == 0
 
+    def test_consumer_configs_do_not_collide_on_shared_disk(self, tmp_path):
+        # Engines with different consumer configs (here: k) must not
+        # serve each other's igcn rows — the consumer digest is part of
+        # the cell key; backend alone also digests differently.
+        from repro.core import ConsumerConfig
+
+        shared = str(tmp_path)
+        Engine(cache_dir=shared).sweep(self.DATASETS, ("igcn",), **self.SWEEP)
+        wide = Engine(consumer=ConsumerConfig(preagg_k=16), cache_dir=shared)
+        wide.sweep(self.DATASETS, ("igcn",), **self.SWEEP)
+        assert wide.cache_stats()["summary"].misses == 1
+
+    def test_consumer_backends_share_no_summary_rows(self, tmp_path):
+        # The two backends produce identical rows by contract, but a
+        # shared store still must not mix them (cache hygiene: a row
+        # must always have been computed by the config that keys it).
+        from repro.core import ConsumerConfig
+
+        shared = str(tmp_path)
+        batched = Engine(cache_dir=shared)
+        batched_rows = batched.sweep(self.DATASETS, ("igcn",), **self.SWEEP)
+        scalar = Engine(
+            consumer=ConsumerConfig(backend="scalar"), cache_dir=shared
+        )
+        scalar_rows = scalar.sweep(self.DATASETS, ("igcn",), **self.SWEEP)
+        assert scalar.cache_stats()["summary"].misses == 1
+        assert scalar_rows == batched_rows  # the equivalence contract
+
     def test_put_survives_concurrent_clear(self, small_cora, tmp_path, monkeypatch):
         # Simulate `repro cache clear` racing a worker's put(): the kind
         # directory vanishes mid-write; put retries and must not raise.
@@ -499,6 +595,46 @@ class TestCLICacheCommands:
         assert "cleared" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_evict_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--datasets", "cora", "--platforms", "igcn",
+                     "--scale", "0.15", "--seed", "3",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        # A generous budget evicts nothing; zero evicts everything.
+        assert main(["cache", "evict", "--max-size", "1G",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 0 artifacts" in capsys.readouterr().out
+        assert main(["cache", "evict", "--max-size", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_evict_requires_max_size(self, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "evict"]) == 2
+        assert "max-size" in capsys.readouterr().err
+
+    def test_cache_evict_rejects_bad_size(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["cache", "evict", "--max-size", "lots",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "unparsable size" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("size", ["inf", "nan", "-1"])
+    def test_cache_evict_rejects_non_finite_size(self, size, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["cache", "evict", "--max-size", size,
+                     "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "non-negative finite" in capsys.readouterr().err
 
     def test_sweep_json_output_file(self, tmp_path, capsys):
         from repro.cli import main
