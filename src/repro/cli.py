@@ -7,13 +7,17 @@ Commands
 ``compare``   cross-platform comparison on one dataset
 ``sweep``     batched datasets × models × platforms sweep (optionally
               process-parallel) through the runtime Engine
-``bench``     scaling benchmarks (scalar vs batched backends): the
-              ``locator`` suite writes BENCH_locator.json, the
-              ``consumer`` suite BENCH_consumer.json
+``bench``     scaling benchmarks: the ``locator``/``consumer`` suites
+              time scalar vs batched backends (BENCH_locator.json,
+              BENCH_consumer.json); the ``pipeline`` suite times
+              staged vs streamed execution and records the Fig. 3
+              overlap win (BENCH_pipeline.json)
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
 ``cache``     inspect, clear, or size-evict the persistent artifact
               store
+``docs``      regenerate generated documentation (``docs cli`` writes
+              docs/cli.md from this parser; ``--check`` verifies it)
 
 All simulation goes through the runtime registry
 (``repro.runtime.get_simulator``); artifact caching and batching go
@@ -54,6 +58,7 @@ from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
 from repro.eval.bench_consumer import run_consumer_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
+from repro.eval.bench_pipeline import run_pipeline_bench
 from repro.eval.experiments import (
     experiment_fig9,
     experiment_fig10,
@@ -124,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "multi-island kernel (default) or the scalar "
                             "per-island oracle loop; counts, traffic and "
                             "outputs are identical, only speed differs")
+        p.add_argument("--pipeline", choices=["streamed", "staged"],
+                       default="streamed",
+                       help="locator/consumer execution mode: 'streamed' "
+                            "(default) consumes islands per locator round "
+                            "as they form and reports overlapped cycles "
+                            "(the paper's Fig. 3); 'staged' runs the two "
+                            "phases back-to-back; counts, traffic and "
+                            "outputs are identical, only the cycle model "
+                            "differs")
 
     # Accept aliases too, so platform names printed by compare/sweep
     # ("awb-gcn", ...) round-trip as input.
@@ -183,10 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_arg(swp)
 
     bench = sub.add_parser(
-        "bench", help="performance benchmarks (scalar vs batched backends)"
+        "bench", help="performance benchmarks (backends and pipeline modes)"
     )
-    bench.add_argument("suite", choices=["locator", "consumer"],
-                       help="benchmark suite to run")
+    bench.add_argument("suite", choices=["locator", "consumer", "pipeline"],
+                       help="benchmark suite to run: locator/consumer time "
+                            "scalar vs batched backends, pipeline times "
+                            "staged vs streamed execution and records the "
+                            "modelled overlap win")
     bench.add_argument("--tiers", nargs="+", choices=list(BENCH_TIERS),
                        default=list(BENCH_TIERS),
                        help="graph-scale tiers by undirected edge count "
@@ -232,6 +249,19 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-size", metavar="SIZE", default=None,
                        help="evict: size budget as bytes or with a K/M/G "
                             "suffix (e.g. 500M, 1.5G)")
+
+    docs = sub.add_parser(
+        "docs", help="regenerate generated documentation"
+    )
+    docs.add_argument("target", choices=["cli"],
+                      help="cli: the command-line reference "
+                           "(docs/cli.md), rendered from this parser")
+    docs.add_argument("--output", metavar="FILE", default="docs/cli.md",
+                      help="destination file (default: docs/cli.md)")
+    docs.add_argument("--check", action="store_true",
+                      help="verify the file is up to date instead of "
+                           "writing it (exit 1 on drift; CI docs-check "
+                           "runs this)")
     return parser
 
 
@@ -273,7 +303,8 @@ def _cmd_run(args) -> int:
     # with --cache-dir they persist, so a repeated run warm-starts.
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
-        consumer=ConsumerConfig(backend=args.consumer_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend,
+                                pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
     )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed,
@@ -287,7 +318,8 @@ def _cmd_run(args) -> int:
             locator=LocatorConfig(c_max=args.cmax,
                                   backend=args.locator_backend),
             consumer=ConsumerConfig(preagg_k=args.preagg_k,
-                                    backend=args.consumer_backend),
+                                    backend=args.consumer_backend,
+                                    pipeline=args.pipeline),
         )
         report = sim.simulate(
             ds.graph, model, feature_density=ds.feature_density,
@@ -344,7 +376,8 @@ def _cmd_islandize(args) -> int:
 def _cmd_compare(args) -> int:
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
-        consumer=ConsumerConfig(backend=args.consumer_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend,
+                                pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
     )
     ds = engine.dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -372,7 +405,8 @@ def _cmd_compare(args) -> int:
 def _cmd_sweep(args) -> int:
     engine = Engine(
         locator=LocatorConfig(backend=args.locator_backend),
-        consumer=ConsumerConfig(backend=args.consumer_backend),
+        consumer=ConsumerConfig(backend=args.consumer_backend,
+                                pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
     )
     rows = engine.sweep(
@@ -440,11 +474,15 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.repeats < 1:
+        raise SimulationError(
+            f"--repeats must be >= 1 (got {args.repeats})"
+        )
     if args.suite == "locator":
         if args.preagg_k != _DEFAULT_PREAGG_K:
             raise SimulationError(
                 "--preagg-k configures the consumer scan and only applies "
-                "to the consumer suite"
+                "to the consumer and pipeline suites"
             )
         record = run_locator_bench(
             tiers=args.tiers,
@@ -453,7 +491,7 @@ def _cmd_bench(args) -> int:
             c_max=args.cmax,
             verify=not args.no_verify,
         )
-    else:
+    elif args.suite == "consumer":
         record = run_consumer_bench(
             tiers=args.tiers,
             repeats=args.repeats,
@@ -462,20 +500,45 @@ def _cmd_bench(args) -> int:
             preagg_k=args.preagg_k,
             verify=not args.no_verify,
         )
-    rows = [
-        {
-            "tier": row["tier"],
-            "nodes": row["nodes"],
-            "edges": row["edges"],
-            "scalar_s": row["scalar_s"],
-            "batched_s": row["batched_s"],
-            "speedup": row["speedup"],
-            "equal": "-" if row["equal"] is None else str(row["equal"]),
-        }
-        for row in record["tiers"]
-    ]
-    print(render_table(rows, title=f"{args.suite} backend scaling "
-                                   "(best-of wall clock)"))
+    else:
+        record = run_pipeline_bench(
+            tiers=args.tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            c_max=args.cmax,
+            preagg_k=args.preagg_k,
+            verify=not args.no_verify,
+        )
+    if args.suite == "pipeline":
+        rows = [
+            {
+                "tier": row["tier"],
+                "rounds": row["rounds"],
+                "staged_cyc": row["staged_cycles"],
+                "streamed_cyc": row["streamed_cycles"],
+                "overlap_win": row["overlap_win"],
+                "staged_s": row["staged_s"],
+                "streamed_s": row["streamed_s"],
+                "equal": "-" if row["equal"] is None else str(row["equal"]),
+            }
+            for row in record["tiers"]
+        ]
+        title = "pipeline overlap: staged vs streamed (modelled cycles)"
+    else:
+        rows = [
+            {
+                "tier": row["tier"],
+                "nodes": row["nodes"],
+                "edges": row["edges"],
+                "scalar_s": row["scalar_s"],
+                "batched_s": row["batched_s"],
+                "speedup": row["speedup"],
+                "equal": "-" if row["equal"] is None else str(row["equal"]),
+            }
+            for row in record["tiers"]
+        ]
+        title = f"{args.suite} backend scaling (best-of wall clock)"
+    print(render_table(rows, title=title))
     output = args.output or f"BENCH_{args.suite}.json"
     if args.output is None and Path(output).exists():
         # Partial-tier smoke runs must not clobber a committed
@@ -492,11 +555,82 @@ def _cmd_bench(args) -> int:
     # Write the record first: on a divergence it is the evidence.
     Path(output).write_text(json.dumps(record, indent=2) + "\n")
     if any(row["equal"] is False for row in record["tiers"]):
-        print(f"error: backend results diverged — see rows above and "
+        what = (
+            "pipeline modes" if args.suite == "pipeline" else "backends"
+        )
+        print(f"error: {what} diverged — see rows above and "
               f"{output}", file=sys.stderr)
         return 1
     print(f"\nwrote {output}: largest tier {record['largest_tier']} "
           f"speedup {record['largest_speedup']}x")
+    return 0
+
+
+def render_cli_docs() -> str:
+    """Render docs/cli.md from the argparse tree (deterministically).
+
+    Each subcommand contributes its ``format_help()`` block, wrapped at
+    a fixed width so the output is identical regardless of the
+    generating terminal — ``repro docs cli --check`` diffs against the
+    committed file byte-for-byte.
+    """
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "79"
+    try:
+        parser = build_parser()
+        sub_action = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        lines = [
+            "# CLI reference",
+            "",
+            "<!-- Generated by `python -m repro docs cli`; do not edit by",
+            "hand.  CI's docs-check job fails when this file is stale. -->",
+            "",
+            "All commands run as `python -m repro <command>` (or plain",
+            "`repro <command>` after `pip install -e .`).  See",
+            "[architecture.md](architecture.md) for what each layer does and",
+            "[benchmarks.md](benchmarks.md) for the `bench` suites' records.",
+            "",
+        ]
+        helps = {
+            choice.dest: choice.help or ""
+            for choice in sub_action._choices_actions
+        }
+        for name, command in sub_action.choices.items():
+            lines.append(f"## `repro {name}`")
+            lines.append("")
+            summary = helps.get(name, "")
+            if summary:
+                lines.append(summary[0].upper() + summary[1:] + ".")
+                lines.append("")
+            lines.append("```text")
+            lines.append(command.format_help().rstrip())
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+    finally:
+        if previous is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+def _cmd_docs(args) -> int:
+    rendered = render_cli_docs()
+    path = Path(args.output)
+    if args.check:
+        current = path.read_text() if path.exists() else None
+        if current != rendered:
+            print(f"error: {path} is stale — regenerate it with "
+                  f"`python -m repro docs cli`", file=sys.stderr)
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rendered)
+    print(f"wrote {path}")
     return 0
 
 
@@ -550,6 +684,7 @@ def main(argv: list[str] | None = None) -> int:
         "spy": _cmd_spy,
         "experiments": _cmd_experiments,
         "cache": _cmd_cache,
+        "docs": _cmd_docs,
     }
     try:
         return handlers[args.command](args)

@@ -1,4 +1,6 @@
-"""I-GCN core: islandization (Island Locator) + Island Consumer."""
+"""I-GCN core (§3): the Island Locator (Algorithm 1), the Island
+Consumer (§3.3), and the streamed locator→consumer pipeline (§3.1.1,
+Fig. 3) that overlaps the two."""
 
 from repro.core.accelerator import IGCNAccelerator, IGCNReport
 from repro.core.bitmap import IslandTask, build_island_task
@@ -7,9 +9,16 @@ from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
 from repro.core.consumer_batched import TaskBatch
 from repro.core.interhub import InterHubPlan, build_interhub_plan
 from repro.core.islandizer import IslandLocator, islandize
+from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
 from repro.core.schedule import PEScheduleReport, ScheduledTask, schedule_islands
-from repro.core.types import Island, IslandizationResult, LocatorWork, RoundStats
+from repro.core.types import (
+    Island,
+    IslandizationResult,
+    LocatorWork,
+    RoundOutput,
+    RoundStats,
+)
 
 __all__ = [
     "IGCNAccelerator",
@@ -32,8 +41,11 @@ __all__ = [
     "schedule_islands",
     "scan_aggregate",
     "scan_costs",
+    "pipelined_makespan",
+    "streamed_schedule",
     "Island",
     "IslandizationResult",
     "LocatorWork",
+    "RoundOutput",
     "RoundStats",
 ]

@@ -1,4 +1,4 @@
-"""The I-GCN accelerator: locator + consumer + hardware models.
+"""The I-GCN accelerator: locator + consumer + hardware models (§3-§4).
 
 :class:`IGCNAccelerator` is the library's front door.  ``run`` performs
 a full multi-layer inference:
@@ -9,6 +9,22 @@ a full multi-layer inference:
 3. run the Island Consumer per layer (functional or counting);
 4. fold operation counts, DRAM traffic, locator work, and the
    locator/consumer overlap into latency and energy via ``repro.hw``.
+
+Steps 1-3 run in one of two pipeline modes
+(:attr:`ConsumerConfig.pipeline`), reproducing Fig. 3's overlap claim
+(§3.1.1) at the software level:
+
+* ``"streamed"`` (default) — the locator *streams*
+  :class:`~repro.core.types.RoundOutput` chunks; island tasks are
+  assembled per round as chunks arrive, layers execute chunk-by-chunk,
+  and end-to-end cycles come from the measured per-round release/work
+  schedule (:func:`~repro.core.pipeline.streamed_schedule`);
+* ``"staged"`` — islandize to completion, then consume; cycles are the
+  plain sum of the two phases.
+
+Counts, traffic, and functional outputs are byte-identical across
+modes (and across both locator/consumer backends); only the overlap
+model differs (``tests/test_pipeline_stream.py``).
 
 The returned :class:`IGCNReport` carries everything the paper's tables
 and figures need: pruning rates (Fig 10), traffic breakdown (Fig 14A),
@@ -26,7 +42,7 @@ from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.consumer import IslandConsumer, LayerCounts
 from repro.core.interhub import build_interhub_plan
 from repro.core.islandizer import IslandLocator
-from repro.core.pipeline import pipelined_makespan
+from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.core.types import IslandizationResult
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
@@ -56,6 +72,7 @@ class IGCNReport(BaseReport):
     total_cycles: float
     latency_us: float
     energy: EnergyReport
+    pipeline: str = "streamed"
     outputs: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -94,6 +111,19 @@ class IGCNReport(BaseReport):
         agg = sum(layer.aggregation_baseline_macs for layer in self.layers)
         return agg / baseline if baseline else 0.0
 
+    @property
+    def overlap_saved_cycles(self) -> float:
+        """Cycles the pipeline overlap hides vs. a staged back-to-back run.
+
+        Zero in staged mode by construction; in streamed mode this is
+        the Fig. 3 win — ``(locator + consumer + fill) - total``.
+        """
+        staged_total = (
+            self.locator_cycles + self.consumer_cycles
+            + IGCNAccelerator.PIPELINE_FILL_CYCLES
+        )
+        return max(0.0, staged_total - self.total_cycles)
+
     def _summary_extras(self) -> dict[str, object]:
         """Islandization and pruning metrics unique to I-GCN."""
         return {
@@ -102,11 +132,15 @@ class IGCNReport(BaseReport):
             "hubs": self.islandization.num_hubs,
             "prune_agg": round(self.aggregation_pruning_rate, 4),
             "prune_all": round(self.overall_pruning_rate, 4),
+            "pipeline": self.pipeline,
         }
 
 
 class IGCNAccelerator:
     """Functional + performance simulator of the I-GCN design."""
+
+    #: Fixed pipeline-fill cycles covering the first-island delay.
+    PIPELINE_FILL_CYCLES = 64.0
 
     def __init__(
         self,
@@ -145,6 +179,8 @@ class IGCNAccelerator:
         """
         if functional and features is None:
             raise SimulationError("functional mode requires features")
+        streamed = self.consumer_config.pipeline == "streamed"
+        consumer = IslandConsumer(self.consumer_config, self.hw)
         if islandization is not None:
             # The locator already holds the self-loop-free copy it ran
             # on; reuse it instead of rebuilding an O(nnz) clean graph
@@ -153,32 +189,57 @@ class IGCNAccelerator:
             result = islandization
         else:
             clean = graph.without_self_loops()
-            result = IslandLocator(self.locator_config).run(clean)
+            result = None
 
+        # Normalisation depends only on the clean graph, so it is known
+        # before islandization starts — the streamed pipeline needs it
+        # to assemble tasks while the locator is still running.
         norm = normalization_for(clean, model.aggregation, gin_eps=model.gin_eps)
-        interhub = build_interhub_plan(result, add_self_loops=norm.add_self_loops)
         if functional and weights is None:
             weights = init_weights(model, seed=seed)
 
-        consumer = IslandConsumer(self.consumer_config, self.hw)
-        # Backend-appropriate task representation (packed TaskBatch for
-        # the batched consumer, per-island bitmaps for the scalar
-        # oracle), built once and shared by every layer.
-        tasks = consumer.prepare(result, add_self_loops=norm.add_self_loops)
+        if streamed:
+            # Fig. 3's producer/consumer hand-off: one task chunk per
+            # locator round, assembled as each RoundOutput arrives — a
+            # cached islandization replays its recorded round stream.
+            chunks: list = []
+            scratch: dict = {}  # per-inference reusable assembly maps
+
+            def assemble(chunk) -> None:
+                chunks.append(
+                    consumer.prepare_chunk(
+                        clean, chunk.islands,
+                        add_self_loops=norm.add_self_loops,
+                        scratch=scratch,
+                    )
+                )
+
+            if result is None:
+                result = IslandLocator(self.locator_config).run(
+                    clean, on_round=assemble
+                )
+            else:
+                for chunk in result.iter_rounds():
+                    assemble(chunk)
+        else:
+            if result is None:
+                result = IslandLocator(self.locator_config).run(clean)
+            # Backend-appropriate task representation (packed TaskBatch
+            # for the batched consumer, per-island bitmaps for the
+            # scalar oracle), built once and shared by every layer.
+            tasks = consumer.prepare(result, add_self_loops=norm.add_self_loops)
+
+        interhub = build_interhub_plan(result, add_self_loops=norm.add_self_loops)
         meter = TrafficMeter()
         meter.read("adjacency", result.work.total_adjacency_bytes)
 
         layer_counts: list[LayerCounts] = []
         layer_cycles: list[float] = []
+        round_work = np.zeros(len(result.rounds), dtype=np.float64)
         x = features
         for idx, layer in enumerate(model.layers):
             layer_meter = TrafficMeter()
-            execution = consumer.run_layer(
-                result,
-                tasks,
-                interhub,
-                norm,
-                layer,
+            layer_kwargs = dict(
                 layer_index=idx,
                 meter=layer_meter,
                 x=x if functional else None,
@@ -186,6 +247,17 @@ class IGCNAccelerator:
                 feature_density=feature_density if idx == 0 else 1.0,
                 final_layer=idx == model.num_layers - 1,
             )
+            if streamed:
+                chunk_work: list[int] = []
+                execution = consumer.run_layer_chunked(
+                    result, chunks, interhub, norm, layer,
+                    chunk_work=chunk_work, **layer_kwargs,
+                )
+                round_work += np.asarray(chunk_work, dtype=np.float64)
+            else:
+                execution = consumer.run_layer(
+                    result, tasks, interhub, norm, layer, **layer_kwargs
+                )
             layer_counts.append(execution.counts)
             compute = execution.counts.total_macs / self.hw.macs_per_cycle
             # Latency charges only the bytes that must cross the pins;
@@ -201,7 +273,7 @@ class IGCNAccelerator:
                 x = execution.output
 
         locator_cycles, consumer_cycles, total_cycles = self._latency(
-            result, layer_cycles
+            result, layer_cycles, round_work if streamed else None
         )
         latency_s = self.hw.cycles_to_seconds(total_cycles)
         energy = estimate_energy(
@@ -221,14 +293,29 @@ class IGCNAccelerator:
             total_cycles=total_cycles,
             latency_us=self.hw.cycles_to_us(total_cycles),
             energy=energy,
+            pipeline=self.consumer_config.pipeline,
             outputs=x if functional else None,
         )
 
     # ------------------------------------------------------------------
     def _latency(
-        self, result: IslandizationResult, layer_cycles: list[float]
+        self,
+        result: IslandizationResult,
+        layer_cycles: list[float],
+        round_work: np.ndarray | None = None,
     ) -> tuple[float, float, float]:
-        """Overlap the locator with the consumer (Fig 3's pipeline)."""
+        """End-to-end cycles of one inference, per pipeline mode.
+
+        ``round_work`` is the measured per-round consumer work vector a
+        streamed run collected (``None`` in staged mode).  Staged runs
+        the phases strictly back-to-back — locator, then consumer —
+        so their cycles simply add.  Streamed overlaps them (Fig 3):
+        islands stream to the consumer as they form, so round r's work
+        releases at the round's start and the total is the
+        work-conserving makespan of the measured release/work schedule
+        (floored at the locator itself, which must still finish).  A
+        small fixed fill covers the first-island delay in both modes.
+        """
         config = self.locator_config
         # Adjacency beyond on-chip capacity pays DRAM bandwidth.
         adjacency_spill = max(
@@ -248,32 +335,22 @@ class IGCNAccelerator:
             round_cycles.append(max(detect, scans, dram))
         locator_cycles = float(sum(round_cycles))
         consumer_cycles = float(sum(layer_cycles))
-        pipeline_fill = 64.0
+        pipeline_fill = self.PIPELINE_FILL_CYCLES
 
         # Degenerate graphs (0 nodes, or nothing left after self-loop
         # removal) produce zero locator rounds; there is no release
-        # schedule to overlap, so the consumer runs start-to-finish and
-        # the releases/chunks/shares arrays below (which are all sized
-        # per-round) are never built with mismatched lengths.
+        # schedule to overlap, so the consumer runs start-to-finish in
+        # either mode.
         if not round_cycles:
             return 0.0, consumer_cycles, consumer_cycles + pipeline_fill
 
-        # Islands stream to the consumer *as they form* (§3.1.1: no
-        # per-round synchronisation on the consumer side), so round r's
-        # work becomes available from the round's *start*; only the
-        # locator's production rate can starve the consumer, which the
-        # release-time makespan captures.  A small fixed fill covers the
-        # first-island delay.
-        cumulative = np.cumsum(round_cycles)
-        releases = [0.0] + cumulative[:-1].tolist()
-        islanded = np.asarray(
-            [s.nodes_islanded + s.hubs_found for s in result.rounds], dtype=np.float64
+        if round_work is None:
+            total = locator_cycles + consumer_cycles + pipeline_fill
+            return locator_cycles, consumer_cycles, total
+
+        releases, chunks = streamed_schedule(
+            round_cycles, round_work.tolist(), consumer_cycles
         )
-        if islanded.sum() == 0:
-            shares = np.ones(len(releases)) / len(releases)
-        else:
-            shares = islanded / islanded.sum()
-        chunks = (shares * consumer_cycles).tolist()
         total = max(
             pipelined_makespan(releases, chunks), locator_cycles
         ) + pipeline_fill

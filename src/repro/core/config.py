@@ -1,4 +1,5 @@
-"""Configuration of the Island Locator and Island Consumer.
+"""Configuration of the Island Locator (Algorithm 1) and Island
+Consumer (§3.3), plus the backend/pipeline execution switches.
 
 The paper leaves the hub-threshold schedule (``TH0`` and ``Decay()``)
 unspecified; the defaults here start at a high degree quantile and halve
@@ -117,11 +118,25 @@ class ConsumerConfig:
         exactly the same counts, traffic, ring statistics and (in
         functional mode) output matrices; the backend is still part of
         the config digest so cached artifacts never mix backends.
+    pipeline:
+        How the consumer ingests the locator's islands (§3.1.1,
+        Fig. 3).  ``"streamed"`` (default, the paper's architecture)
+        consumes per-round chunks as the Island Locator produces them
+        and reports end-to-end cycles from the measured per-round
+        release/work schedule; ``"staged"`` runs the two phases
+        strictly back-to-back and reports their sum.  Counts, DRAM
+        traffic, ring/cache statistics and functional outputs are
+        byte-identical in both modes (``tests/test_pipeline_stream.py``
+        pins this); only the overlap model — ``total_cycles`` and
+        everything derived from it — differs.  Like ``backend``, the
+        mode is part of the config digest, so cached reports and
+        summary rows never mix pipeline modes.
     """
 
     num_pes: int = 8
     preagg_k: int = 6
     backend: str = "batched"
+    pipeline: str = "streamed"
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
@@ -131,4 +146,8 @@ class ConsumerConfig:
         if self.backend not in ("batched", "scalar"):
             raise ConfigError(
                 f"backend must be 'batched' or 'scalar' (got {self.backend!r})"
+            )
+        if self.pipeline not in ("streamed", "staged"):
+            raise ConfigError(
+                f"pipeline must be 'streamed' or 'staged' (got {self.pipeline!r})"
             )

@@ -233,6 +233,36 @@ class IslandConsumer:
         return prepare_tasks(result, add_self_loops=add_self_loops)
 
     # ------------------------------------------------------------------
+    def prepare_chunk(
+        self, graph, islands, *, add_self_loops: bool, scratch: dict | None = None
+    ):
+        """Task representation for one locator round's islands (§3.1.1).
+
+        The streamed pipeline's unit of hand-off: called with each
+        :class:`~repro.core.types.RoundOutput`'s islands *while the
+        locator is still running later rounds*, so task assembly
+        overlaps islandization.  ``"batched"`` → one per-round
+        :class:`~repro.core.consumer_batched.TaskBatch` slice;
+        ``"scalar"`` → the round's :class:`IslandTask` list.  The
+        concatenation of all round chunks is element-identical to what
+        :meth:`prepare` builds from the finished result.  ``scratch``
+        is an optional dict kept across a run's calls so the batched
+        assembly reuses its node-sized lookup maps (see
+        :meth:`TaskBatch.from_islands
+        <repro.core.consumer_batched.TaskBatch.from_islands>`).
+        """
+        if self.config.backend == "batched":
+            from repro.core.consumer_batched import TaskBatch
+
+            return TaskBatch.from_islands(
+                graph, islands, add_self_loops=add_self_loops, scratch=scratch
+            )
+        return [
+            build_island_task(graph, island, add_self_loops=add_self_loops)
+            for island in islands
+        ]
+
+    # ------------------------------------------------------------------
     def run_layer(
         self,
         result: IslandizationResult,
@@ -281,6 +311,77 @@ class IslandConsumer:
                     f"island-task list, got {type(tasks).__name__}"
                 )
             self._run_scalar(state, tasks, interhub, meter)
+        return self._layer_finalize(
+            state, norm, layer, meter=meter, final_layer=final_layer
+        )
+
+    # ------------------------------------------------------------------
+    def run_layer_chunked(
+        self,
+        result: IslandizationResult,
+        chunks,
+        interhub: InterHubPlan,
+        norm: NormalizationSpec,
+        layer: LayerSpec,
+        *,
+        layer_index: int,
+        meter: TrafficMeter,
+        x=None,
+        w: np.ndarray | None = None,
+        feature_density: float = 1.0,
+        final_layer: bool = True,
+        chunk_work: list[int] | None = None,
+    ) -> LayerExecution:
+        """Run one layer over per-round task chunks (the streamed path).
+
+        ``chunks`` is the per-round sequence :meth:`prepare_chunk`
+        produced (one entry per locator round, empty rounds included).
+        Island chunks execute in round order with global task offsets,
+        then the inter-hub phase runs once — the exact accounting and
+        accumulation order of :meth:`run_layer` on the monolithic task
+        list, so counts, traffic, ring/cache statistics and functional
+        outputs are byte-identical between the two entry points.
+
+        ``chunk_work`` (optional) is filled with one aggregation-MAC
+        tally per chunk — the measured per-round work vector the
+        streamed latency model feeds to
+        :func:`~repro.core.pipeline.pipelined_makespan`.
+        """
+        functional = x is not None
+        if functional and w is None:
+            raise SimulationError("functional mode needs both x and w")
+        state = self._layer_setup(
+            result, norm, layer,
+            layer_index=layer_index, meter=meter, x=x, w=w,
+            feature_density=feature_density, functional=functional,
+        )
+        batched = self.config.backend == "batched"
+        if batched:
+            from repro.core.consumer_batched import (
+                run_interhub_batched,
+                run_island_chunk,
+            )
+        task_offset = 0
+        for chunk in chunks:
+            before = state.counts.scan.total_ops
+            if batched:
+                run_island_chunk(
+                    self, state, chunk, meter, task_offset=task_offset
+                )
+                task_offset += chunk.num_tasks
+            else:
+                self._run_scalar_islands(
+                    state, chunk, meter, task_offset=task_offset
+                )
+                task_offset += len(chunk)
+            if chunk_work is not None:
+                chunk_work.append(
+                    (state.counts.scan.total_ops - before) * layer.out_dim
+                )
+        if batched:
+            run_interhub_batched(state, interhub, meter)
+        else:
+            self._run_scalar_interhub(state, interhub, meter)
         return self._layer_finalize(
             state, norm, layer, meter=meter, final_layer=final_layer
         )
@@ -369,6 +470,23 @@ class IslandConsumer:
         meter: TrafficMeter,
     ) -> None:
         """Per-island oracle loop (the batched backend's ground truth)."""
+        self._run_scalar_islands(state, tasks, meter, task_offset=0)
+        self._run_scalar_interhub(state, interhub, meter)
+
+    # ------------------------------------------------------------------
+    def _run_scalar_islands(
+        self,
+        state: _LayerState,
+        tasks: list[IslandTask],
+        meter: TrafficMeter,
+        *,
+        task_offset: int = 0,
+    ) -> None:
+        """Island phase of the oracle loop over one task chunk.
+
+        ``task_offset`` is the global index of ``tasks[0]``, so a
+        per-round chunk keeps the whole-list PE assignment.
+        """
         functional = state.functional
         counts = state.counts
         hub_pos = state.hub_pos
@@ -377,7 +495,7 @@ class IslandConsumer:
 
         # ---------------- island tasks ---------------------------------
         k = self.config.preagg_k
-        for task_idx, task in enumerate(tasks):
+        for task_idx, task in enumerate(tasks, start=task_offset):
             pe = task_idx % self.config.num_pes
             if functional:
                 acc, scan = scan_aggregate(
@@ -412,7 +530,20 @@ class IslandConsumer:
                 out[members] = acc[task.num_hubs:]
             self.ring.drain()
 
-        # ---------------- inter-hub tasks ------------------------------
+    # ------------------------------------------------------------------
+    def _run_scalar_interhub(
+        self,
+        state: _LayerState,
+        interhub: InterHubPlan,
+        meter: TrafficMeter,
+    ) -> None:
+        """Inter-hub phase of the oracle loop (after all island chunks)."""
+        functional = state.functional
+        counts = state.counts
+        hub_pos = state.hub_pos
+        xw_cache, prc = state.xw_cache, state.prc
+        xw_scaled, hub_acc = state.xw_scaled, state.hub_acc
+
         counts.interhub_ops = interhub.num_ops
         interhub.validate_targets(hub_pos)
         for target, source in interhub.directed_edges.tolist():

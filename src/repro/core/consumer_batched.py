@@ -1,4 +1,5 @@
-"""Batched Island Consumer backend: vectorized task assembly + execution.
+"""Batched Island Consumer backend: vectorized task assembly + execution
+(§3.3, Figures 6-7; chunked for the §3.1.1/Fig. 3 streamed pipeline).
 
 The scalar consumer (``repro.core.consumer``) builds one dense bitmap
 per island in a per-member Python loop and then walks islands one at a
@@ -45,7 +46,12 @@ from repro.core.preagg import ScanCounts, classify_windows, group_layout_batch
 from repro.core.types import IslandizationResult
 from repro.errors import SimulationError
 
-__all__ = ["TaskBatch", "run_layer_batched"]
+__all__ = [
+    "TaskBatch",
+    "run_layer_batched",
+    "run_island_chunk",
+    "run_interhub_batched",
+]
 
 #: Bitmap-cell budget per functional shape chunk: caps the dense
 #: (stack, L, L) bool stacks and their float64 matmul operands at a few
@@ -128,8 +134,32 @@ class TaskBatch:
         entries (the L-shape), the member diagonal when the model adds
         self-loops, and neighbours outside the task's local set dropped.
         """
-        graph = result.graph
-        islands = result.islands
+        return cls.from_islands(
+            result.graph, result.islands, add_self_loops=add_self_loops
+        )
+
+    @classmethod
+    def from_islands(
+        cls, graph, islands, *, add_self_loops: bool, scratch: dict | None = None
+    ) -> "TaskBatch":
+        """Pack an explicit island sequence against ``graph``'s CSR.
+
+        ``islands`` may be any subset of an islandization — in the
+        streamed pipeline it is one round's chunk from a
+        :class:`~repro.core.types.RoundOutput`, assembled while the
+        locator is still producing later rounds.  Task packing is
+        island-local, so a per-round slice holds exactly the entries
+        those tasks have in the monolithic full-result batch.
+
+        ``scratch`` (optional) is a dict the caller keeps across calls
+        to reuse the two O(num_nodes) member-lookup maps instead of
+        allocating them per call — the streamed pipeline passes one
+        per inference, so per-round assembly costs O(chunk) rather
+        than O(num_nodes) per round.  The maps are restored to their
+        clean state (written positions reset) before returning, which
+        keeps reuse exact for any island subset.
+        """
+        islands = list(islands)
         num_tasks = len(islands)
         n = graph.num_nodes
         num_hubs = np.fromiter(
@@ -171,9 +201,18 @@ class TaskBatch:
             np.repeat(local_offsets[:-1] + num_hubs, num_members) + mem_rank
         ] = members_flat
 
-        # Members belong to exactly one island: global row maps.
-        member_task = np.full(n, -1, dtype=np.int64)
-        member_local = np.full(n, -1, dtype=np.int64)
+        # Members belong to exactly one island: global row maps
+        # (allocated fresh, or reused from the caller's scratch dict —
+        # kept clean between calls by the reset below).
+        if scratch is not None and len(scratch.get("member_task", ())) == n:
+            member_task = scratch["member_task"]
+            member_local = scratch["member_local"]
+        else:
+            member_task = np.full(n, -1, dtype=np.int64)
+            member_local = np.full(n, -1, dtype=np.int64)
+            if scratch is not None:
+                scratch["member_task"] = member_task
+                scratch["member_local"] = member_local
         member_task[members_flat] = np.repeat(
             np.arange(num_tasks, dtype=np.int64), num_members
         )
@@ -232,6 +271,11 @@ class TaskBatch:
         entry_task = np.concatenate(parts_task)
         entry_row = np.concatenate(parts_row)
         entry_col = np.concatenate(parts_col)
+        if scratch is not None:
+            # Restore the clean all(-1) state so the next call starts
+            # from scratch regardless of which islands this one held.
+            member_task[members_flat] = -1
+            member_local[members_flat] = -1
         return cls._from_entries(
             num_hubs, num_locals, local_nodes, local_offsets,
             hubs_flat, hub_offsets, entry_task, entry_row, entry_col,
@@ -378,81 +422,94 @@ def run_layer_batched(consumer, state, batch: TaskBatch, interhub, meter):
     ``consumer`` is the owning ``IslandConsumer`` (ring + config),
     ``state`` the backend-shared ``_LayerState`` the prologue built.
     Counter/traffic/output-identical to ``IslandConsumer._run_scalar``.
+
+    The staged execution is one island chunk covering everything;
+    the streamed pipeline calls :func:`run_island_chunk` once per
+    locator round and :func:`run_interhub_batched` once at the end —
+    every counter is additive and every float accumulation keeps its
+    per-hub order, so the two decompositions are byte-identical.
+    """
+    run_island_chunk(consumer, state, batch, meter, task_offset=0)
+    run_interhub_batched(state, interhub, meter)
+
+
+def run_island_chunk(
+    consumer, state, batch: TaskBatch, meter, *, task_offset: int = 0
+) -> None:
+    """Island phase over one :class:`TaskBatch` (full batch or slice).
+
+    ``task_offset`` is the global index of the batch's first task, so a
+    per-round slice lands on the same PEs (ring sources, DHUB-PRC
+    banks) the monolithic batch assigns.  Per-task accounting is
+    batched: every counter is additive, so one bulk call per structure
+    reproduces the scalar loop's totals, and the cache helpers round
+    spills per call — a sequence of chunk calls therefore charges the
+    meter byte-identically to one whole-batch call.
     """
     config = consumer.config
-    counts = state.counts
     classes = batch.scan_classes(config.preagg_k)
-    counts.scan.merge(classes.counts)
+    state.counts.scan.merge(classes.counts)
 
-    # Inter-hub validation runs in both modes (the scalar loop's
-    # functional-only check was a bug: counts mode silently accounted
-    # ops for plans referencing non-hub targets).
-    counts.interhub_ops = interhub.num_ops
-    interhub.validate_targets(state.hub_pos)
-
-    # Per-task accounting, batched.  Every counter is additive, so one
-    # bulk call per structure reproduces the scalar loop's totals; the
-    # cache helpers round spills per call, keeping meters byte-equal.
     state.xw_cache.access_batch(batch.num_hubs, meter)
     if batch.num_tasks:
         pes = (
-            np.arange(batch.num_tasks, dtype=np.int64) % config.num_pes
-        )
+            task_offset + np.arange(batch.num_tasks, dtype=np.int64)
+        ) % config.num_pes
         consumer.ring.send_batches(pes, batch.hub_nodes, batch.hub_offsets)
         state.prc.update_many(batch.hub_nodes, meter)
+
+    if state.functional:
+        total_pairs = len(batch.hub_nodes)
+        if total_pairs:
+            pair_pos = state.hub_pos[batch.hub_nodes]
+            if pair_pos.min() < 0:
+                raise SimulationError(
+                    f"island task references unknown hub "
+                    f"{int(batch.hub_nodes[int(pair_pos.argmin())])}"
+                )
+        else:
+            pair_pos = _empty()
+        contrib = np.empty(
+            (total_pairs, state.xw_scaled.shape[1]), dtype=np.float64
+        )
+        _island_scans(state, batch, classes, contrib)
+        _ordered_hub_fold(state, pair_pos, contrib)
+
+
+def run_interhub_batched(state, interhub, meter) -> None:
+    """Inter-hub phase of one layer (runs once, after all island chunks).
+
+    Inter-hub validation runs in both modes (the scalar loop's
+    functional-only check was a bug: counts mode silently accounted
+    ops for plans referencing non-hub targets).  The functional
+    contribution order — inter-hub edges, then hub self-loops, after
+    every island task — is exactly the scalar loop's sequence.
+    """
+    counts = state.counts
+    counts.interhub_ops = interhub.num_ops
+    interhub.validate_targets(state.hub_pos)
+
     num_edges = len(interhub.directed_edges)
     if num_edges:
         state.xw_cache.access_repeat(num_edges, meter)
         state.prc.update_many(interhub.directed_edges[:, 0], meter)
-    if len(interhub.self_loop_hubs):
+    num_self = len(interhub.self_loop_hubs)
+    if num_self:
         state.prc.update_many(interhub.self_loop_hubs, meter)
 
-    if state.functional:
-        _run_functional(state, batch, classes, config.preagg_k, interhub)
-
-
-def _run_functional(state, batch: TaskBatch, classes: _ScanClasses,
-                    k: int, interhub) -> None:
-    """Functional scan + hub accumulation, byte-identical to scalar."""
-    xw_scaled = state.xw_scaled
-    feat = xw_scaled.shape[1]
-    total_pairs = len(batch.hub_nodes)
-    if total_pairs:
-        pair_pos = state.hub_pos[batch.hub_nodes]
-        if pair_pos.min() < 0:
-            raise SimulationError(
-                f"island task references unknown hub "
-                f"{int(batch.hub_nodes[int(pair_pos.argmin())])}"
-            )
-    else:
-        pair_pos = _empty()
-
-    num_edges = len(interhub.directed_edges)
-    num_self = len(interhub.self_loop_hubs)
-    total = total_pairs + num_edges + num_self
-    # One ordered stream of hub partial-sum contributions: island tasks
-    # in task order (hub rank within each task), then inter-hub edges,
-    # then hub self-loops — exactly the scalar loop's sequence.
-    contrib = np.empty((total, feat), dtype=np.float64)
-    positions = np.empty(total, dtype=np.int64)
-    positions[:total_pairs] = pair_pos
-    if num_edges:
-        positions[total_pairs:total_pairs + num_edges] = (
-            state.hub_pos[interhub.directed_edges[:, 0]]
+    if state.functional and num_edges + num_self:
+        xw_scaled = state.xw_scaled
+        contrib = np.empty(
+            (num_edges + num_self, xw_scaled.shape[1]), dtype=np.float64
         )
-        contrib[total_pairs:total_pairs + num_edges] = (
-            xw_scaled[interhub.directed_edges[:, 1]]
-        )
-    if num_self:
-        positions[total_pairs + num_edges:] = (
-            state.hub_pos[interhub.self_loop_hubs]
-        )
-        contrib[total_pairs + num_edges:] = (
-            xw_scaled[interhub.self_loop_hubs]
-        )
-
-    _island_scans(state, batch, classes, contrib)
-    _ordered_hub_fold(state, positions, contrib)
+        positions = np.empty(num_edges + num_self, dtype=np.int64)
+        if num_edges:
+            positions[:num_edges] = state.hub_pos[interhub.directed_edges[:, 0]]
+            contrib[:num_edges] = xw_scaled[interhub.directed_edges[:, 1]]
+        if num_self:
+            positions[num_edges:] = state.hub_pos[interhub.self_loop_hubs]
+            contrib[num_edges:] = xw_scaled[interhub.self_loop_hubs]
+        _ordered_hub_fold(state, positions, contrib)
 
 
 def _island_scans(state, batch: TaskBatch, classes: _ScanClasses,

@@ -32,6 +32,7 @@ always empties (DESIGN.md §6).
 from __future__ import annotations
 
 import heapq
+from typing import Callable, Generator
 
 import numpy as np
 
@@ -39,7 +40,13 @@ from repro.core.config import LocatorConfig
 from repro.core.hub_detector import detect_new_hubs
 from repro.core.tp_bfs import BFSRoundState, TaskOutcome, run_bfs_task
 from repro.core.tp_bfs_batched import execute_round_batched
-from repro.core.types import Island, IslandizationResult, LocatorWork, RoundStats
+from repro.core.types import (
+    Island,
+    IslandizationResult,
+    LocatorWork,
+    RoundOutput,
+    RoundStats,
+)
 from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
 
@@ -104,15 +111,52 @@ class IslandLocator:
     def __init__(self, config: LocatorConfig | None = None) -> None:
         self.config = config or LocatorConfig()
 
-    def run(self, graph: CSRGraph) -> IslandizationResult:
-        """Islandize ``graph`` (which must not contain self-loops).
+    def run(
+        self,
+        graph: CSRGraph,
+        *,
+        on_round: Callable[[RoundOutput], None] | None = None,
+    ) -> IslandizationResult:
+        """Islandize ``graph`` by draining :meth:`stream` to completion.
 
-        Self-loops carry no structural information for clustering and
-        are handled by the consumer's normalisation (the GCN ``A + I``
-        diagonal), so the locator rejects them to keep edge accounting
-        unambiguous.  The adjacency must be symmetric (the repository's
-        graph constructors guarantee this); both Th3 backends rely on
-        it.
+        ``on_round`` (optional) is invoked with each round's
+        :class:`RoundOutput` as it is produced — the callback form of
+        the streaming hand-off, for consumers that prefer not to drive
+        the generator themselves.  The returned result is identical
+        with or without a callback (and identical to what a pre-stream
+        monolithic run produced: the stream *is* the implementation).
+        """
+        stream = self.stream(graph)
+        while True:
+            try:
+                chunk = next(stream)
+            except StopIteration as stop:
+                return stop.value
+            if on_round is not None:
+                on_round(chunk)
+
+    def stream(
+        self, graph: CSRGraph
+    ) -> Generator[RoundOutput, None, IslandizationResult]:
+        """Islandize ``graph``, yielding one chunk per locator round.
+
+        The generator form of Fig. 3's producer side: after each round
+        of Algorithm 1 it yields a :class:`RoundOutput` with the
+        islands finalized that round (isolated-node singletons first,
+        then TP-BFS islands in task order — exactly their slice of the
+        final result's island list) and the round's statistics, then
+        resumes with the next threshold.  The
+        :class:`IslandizationResult` is the generator's return value
+        (``StopIteration.value``), so ``run()`` is a plain drain of
+        this stream and both entry points produce byte-identical
+        results for either Th3 backend.
+
+        ``graph`` must not contain self-loops: they carry no structural
+        information for clustering and are handled by the consumer's
+        normalisation (the GCN ``A + I`` diagonal), so the locator
+        rejects them to keep edge accounting unambiguous.  The
+        adjacency must be symmetric (the repository's graph
+        constructors guarantee this); both Th3 backends rely on it.
         """
         if graph.has_self_loops():
             raise IslandizationError(
@@ -155,6 +199,7 @@ class IslandLocator:
                 raise IslandizationError(
                     f"locator failed to converge after {_MAX_ROUNDS} rounds"
                 )
+            round_first_island = len(islands)
             detection = detect_new_hubs(degrees, classified, threshold)
             new_hubs = detection.new_hubs
             classified[new_hubs] = True
@@ -270,6 +315,13 @@ class IslandLocator:
             total_bytes += tally.bytes + taskgen_bytes
             total_detect += detection.detect_items
             total_scans += tally.scans
+
+            yield RoundOutput(
+                stats=rounds[-1],
+                islands=tuple(islands[round_first_island:]),
+                new_hub_ids=new_hubs,
+                first_island_id=round_first_island,
+            )
 
             threshold = config.next_threshold(threshold)
             round_id += 1

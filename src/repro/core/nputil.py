@@ -1,4 +1,10 @@
-"""Small shared NumPy idioms used across the batched kernels."""
+"""Small shared NumPy idioms used across the batched kernels.
+
+No paper section of its own: these are the offset/slicing primitives
+the vectorized implementations of Algorithm 1's TP-BFS
+(:mod:`repro.core.tp_bfs_batched`) and the Island Consumer's task
+batch (§3.3, :mod:`repro.core.consumer_batched`) are built from.
+"""
 
 from __future__ import annotations
 

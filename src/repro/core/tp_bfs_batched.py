@@ -2,7 +2,14 @@
 
 This module re-implements one round of Algorithm 1's Th3 phase (the
 TP-BFS task queue of :mod:`repro.core.tp_bfs`) as stamp-array NumPy
-kernels.  The contract is **exact result-equivalence** with the scalar
+kernels.  The one-round granularity is deliberate: each
+:func:`execute_round_batched` call returns a complete
+:class:`BatchedRoundOutcome`, which is exactly the unit
+:meth:`IslandLocator.stream <repro.core.islandizer.IslandLocator.stream>`
+hands to the Island Consumer as a
+:class:`~repro.core.types.RoundOutput` — the §3.1.1/Fig. 3 streamed
+pipeline needs no extra synchronisation inside this module.  The
+contract is **exact result-equivalence** with the scalar
 per-edge loop — identical islands (members in BFS discovery order,
 hubs in first-contact order), identical inter-hub edges, identical
 ``RoundStats`` and ``LocatorWork`` counters — at array speed instead of

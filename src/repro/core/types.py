@@ -25,7 +25,14 @@ from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
 from repro.serialize import read_npz, write_npz
 
-__all__ = ["Island", "RoundStats", "LocatorWork", "IslandizationResult", "ROUND_FIELDS"]
+__all__ = [
+    "Island",
+    "RoundStats",
+    "LocatorWork",
+    "RoundOutput",
+    "IslandizationResult",
+    "ROUND_FIELDS",
+]
 
 
 @dataclass(frozen=True)
@@ -189,6 +196,37 @@ class LocatorWork:
         return cls(per_engine_scans=arrays["per_engine_scans"], **totals)
 
 
+@dataclass(frozen=True)
+class RoundOutput:
+    """One round's hand-off from the Island Locator to its consumer.
+
+    The paper's Fig. 3 pipeline ("the Island Consumer can process an
+    island as soon as it is formed", §3.1.1) needs a per-round unit of
+    production: :meth:`IslandLocator.stream` yields one ``RoundOutput``
+    at each round boundary, carrying exactly the islands finalized that
+    round plus the round's :class:`RoundStats` (the counters the cycle
+    model turns into release times).  ``islands`` are the same objects
+    that end up in the final :class:`IslandizationResult`, in the same
+    order, so a consumer that processes chunks as they arrive sees the
+    identical task sequence a staged consumer sees after the fact.
+    """
+
+    stats: RoundStats
+    islands: tuple[Island, ...]   # islands finalized this round, id order
+    new_hub_ids: np.ndarray       # hubs detected this round, append order
+    first_island_id: int          # id of islands[0]; global task offset
+
+    @property
+    def round_id(self) -> int:
+        """Round this chunk was produced by."""
+        return self.stats.round_id
+
+    @property
+    def num_islands(self) -> int:
+        """Islands finalized this round."""
+        return len(self.islands)
+
+
 @dataclass
 class IslandizationResult:
     """Everything the Island Locator hands to the Island Consumer.
@@ -268,6 +306,31 @@ class IslandizationResult:
         perm = np.empty(self.graph.num_nodes, dtype=np.int64)
         perm[flat] = np.arange(self.graph.num_nodes, dtype=np.int64)
         return perm
+
+    def iter_rounds(self):
+        """Replay this result as the per-round stream that produced it.
+
+        Yields one :class:`RoundOutput` per entry of :attr:`rounds`
+        (rounds that finalized no islands yield empty chunks), with the
+        same island objects, grouping and order a live
+        ``IslandLocator.stream`` run emits — the locator appends
+        islands round-by-round, so island ``round_id``s are
+        non-decreasing and each round's chunk is a contiguous slice.
+        This is the streamed pipeline's path when the islandization
+        comes out of an artifact cache instead of a live locator.
+        """
+        round_ids = np.asarray([isl.round_id for isl in self.islands], dtype=np.int64)
+        start = 0
+        for stats in self.rounds:
+            end = int(np.searchsorted(round_ids, stats.round_id, side="right"))
+            chunk = tuple(self.islands[start:end])
+            yield RoundOutput(
+                stats=stats,
+                islands=chunk,
+                new_hub_ids=self.hub_ids[self.hub_round == stats.round_id],
+                first_island_id=chunk[0].island_id if chunk else start,
+            )
+            start = end
 
     # ------------------------------------------------------------------
     # Serialization

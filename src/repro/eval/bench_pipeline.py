@@ -1,0 +1,166 @@
+"""Pipeline benchmark: staged vs streamed locator→consumer execution.
+
+Runs a full I-GCN inference (islandization + 2-layer GCN, batched
+backends) over the shared hub-and-island graph ladder in both pipeline
+modes (§3.1.1, Fig. 3) and records two things per tier:
+
+* the **modelled overlap win** — staged end-to-end cycles (locator then
+  consumer, strictly back-to-back) vs streamed cycles (the measured
+  per-round release/work makespan), the software-level reproduction of
+  the paper's "overlaps graph restructuring and graph processing";
+* the **wall-clock cost of streaming** — per-round chunked task
+  assembly and execution vs one monolithic batch, to show the streamed
+  protocol does not give back the PR-3/PR-4 batching wins.
+
+Each tier also *verifies* the cross-mode equivalence contract — equal
+per-layer :class:`~repro.core.consumer.LayerCounts`, equal DRAM
+traffic, equal locator/consumer phase cycles — so the overlap
+trajectory in ``BENCH_pipeline.json`` can never drift from the
+byte-identical-results guarantee ``tests/test_pipeline_stream.py``
+pins.
+
+Entry points:
+
+* ``python -m repro bench pipeline`` — run tiers, print a table, write
+  the JSON record;
+* :func:`run_pipeline_bench` — library API (used by the CI
+  ``bench-smoke`` job).
+
+The JSON schema (one record per file)::
+
+    {"benchmark": "pipeline-overlap",
+     "config": {"seed": ..., "repeats": ..., "c_max": ..., "preagg_k": ...,
+                "layers": ..., "verified": ...},
+     "tiers": [{"tier": "1e4", "nodes": ..., "edges": ...,
+                "rounds": ..., "islands": ...,
+                "staged_cycles": ..., "streamed_cycles": ...,
+                "overlap_win": ..., "locator_cycles": ...,
+                "consumer_cycles": ..., "staged_s": ..., "streamed_s": ...,
+                "equal": true}, ...],
+     "largest_tier": "...", "largest_speedup": ...}
+
+``overlap_win`` is ``staged_cycles / streamed_cycles`` (> 1 means the
+streamed pipeline hides locator time); ``largest_speedup`` mirrors the
+other bench records' key and holds the largest tier's overlap win.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.accelerator import IGCNAccelerator, IGCNReport
+from repro.core.config import ConsumerConfig, LocatorConfig
+from repro.errors import ConfigError
+from repro.eval.bench_locator import bench_graph
+from repro.models.configs import gcn_model
+
+__all__ = ["run_pipeline_bench"]
+
+
+def _run_mode(graph, model, *, pipeline, c_max, preagg_k) -> tuple[float, IGCNReport]:
+    """One timed end-to-end inference (islandize + all layers)."""
+    accelerator = IGCNAccelerator(
+        locator=LocatorConfig(c_max=c_max),
+        consumer=ConsumerConfig(preagg_k=preagg_k, pipeline=pipeline),
+    )
+    start = time.perf_counter()
+    report = accelerator.run(graph, model, feature_density=0.5)
+    return time.perf_counter() - start, report
+
+
+def _modes_equal(staged: IGCNReport, streamed: IGCNReport) -> bool:
+    """The cross-mode equivalence contract, in counts mode.
+
+    Byte-identical functional outputs are pinned by
+    ``tests/test_pipeline_stream.py``; the benchmark checks everything
+    a counts-mode run observes: identical islandizations, per-layer
+    counts, DRAM traffic, and phase cycle totals.
+    """
+    return (
+        staged.islandization.equals(streamed.islandization)
+        and staged.layers == streamed.layers
+        and staged.meter.reads == streamed.meter.reads
+        and staged.meter.writes == streamed.meter.writes
+        and staged.locator_cycles == streamed.locator_cycles
+        and staged.consumer_cycles == streamed.consumer_cycles
+    )
+
+
+def run_pipeline_bench(
+    tiers: Sequence[str] = ("1e3", "1e4", "1e5", "1e6", "2e6"),
+    *,
+    repeats: int = 3,
+    seed: int = 7,
+    c_max: int = 64,
+    preagg_k: int = 6,
+    verify: bool = True,
+) -> dict:
+    """Time both pipeline modes across ``tiers``; returns the record.
+
+    Both modes run ``repeats`` times (best-of wall clock); the modelled
+    cycle totals are deterministic, so they come from the last run.
+    With ``verify`` (default) each tier asserts the cross-mode
+    equivalence contract and records the verdict in the row.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1 (got {repeats})")
+    model = gcn_model(32, 8)
+    rows: list[dict] = []
+    for tier in tiers:
+        graph = bench_graph(tier, seed=seed)
+        common = dict(c_max=c_max, preagg_k=preagg_k)
+        # One untimed pass per mode warms the allocator, as the other
+        # benches do.
+        _run_mode(graph, model, pipeline="staged", **common)
+        staged_s = float("inf")
+        for _ in range(repeats):
+            elapsed, staged = _run_mode(graph, model, pipeline="staged", **common)
+            staged_s = min(staged_s, elapsed)
+        _run_mode(graph, model, pipeline="streamed", **common)
+        streamed_s = float("inf")
+        for _ in range(repeats):
+            elapsed, streamed = _run_mode(
+                graph, model, pipeline="streamed", **common
+            )
+            streamed_s = min(streamed_s, elapsed)
+
+        equal = _modes_equal(staged, streamed) if verify else None
+        rows.append(
+            {
+                "tier": tier,
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges // 2,
+                "rounds": streamed.islandization.num_rounds,
+                "islands": streamed.islandization.num_islands,
+                "staged_cycles": round(staged.total_cycles, 1),
+                "streamed_cycles": round(streamed.total_cycles, 1),
+                "overlap_win": (
+                    round(staged.total_cycles / streamed.total_cycles, 4)
+                    if streamed.total_cycles
+                    else None
+                ),
+                "locator_cycles": round(streamed.locator_cycles, 1),
+                "consumer_cycles": round(streamed.consumer_cycles, 1),
+                "staged_s": round(staged_s, 4),
+                "streamed_s": round(streamed_s, 4),
+                "equal": equal,
+            }
+        )
+    largest = rows[-1] if rows else None
+    return {
+        "benchmark": "pipeline-overlap",
+        "config": {
+            "seed": seed,
+            "repeats": repeats,
+            "c_max": c_max,
+            "preagg_k": preagg_k,
+            "layers": [
+                [layer.in_dim, layer.out_dim] for layer in model.layers
+            ],
+            "verified": verify,
+        },
+        "tiers": rows,
+        "largest_tier": largest["tier"] if largest else None,
+        "largest_speedup": largest["overlap_win"] if largest else None,
+    }

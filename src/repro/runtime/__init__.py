@@ -1,7 +1,12 @@
 """Unified simulation runtime: registry, tiered artifact store, sweeps.
 
-The runtime is the load-bearing layer every front-end (CLI, experiment
-registry, benchmarks, future serving paths) goes through:
+This layer has no direct counterpart in the paper — it is the tooling
+that makes the paper's *evaluation* (§4: five datasets × many
+platforms × model variants) reproducible at scale, applying the
+compute-once/reuse-everywhere locality story of §3.1 to the artifacts
+themselves.  The runtime is the load-bearing layer every front-end
+(CLI, experiment registry, benchmarks, future serving paths) goes
+through:
 
 * :func:`get_simulator` / :func:`register_simulator` — one string-keyed
   registry over every platform (``igcn``, ``awb``, ``hygcn``,

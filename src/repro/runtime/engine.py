@@ -1,7 +1,7 @@
 """The simulation Engine: tiered artifact caching and batched sweeps.
 
 The expensive parts of reproducing the paper's cross-platform tables
-are *shared* between cells: five datasets × many platforms × several
+(§4.6, Table 2) are *shared* between cells: five datasets × many platforms × several
 model variants all reuse the same dataset surrogates, the same
 self-loop-free graph copies, the same
 :class:`~repro.core.types.IslandizationResult` per (graph, locator
@@ -105,8 +105,12 @@ class Engine:
         Default Island Consumer configuration for locator-backed
         simulators.  Like the locator config it is part of every
         locator-dependent report/summary cache key, so engines with
-        different consumer settings (backend included) sharing one
-        disk store never serve each other's rows.
+        different consumer settings (backend and pipeline mode
+        included — a streamed report never masquerades as a staged
+        one) sharing one disk store never serve each other's rows.
+        The islandization artifact itself carries no consumer digest:
+        staged and streamed runs share it, since the locator's result
+        is mode-independent by contract.
     store:
         Explicit :class:`~repro.runtime.store.ArtifactStore` stack.
         Mutually exclusive with ``cache_dir``.

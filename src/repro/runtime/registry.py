@@ -1,8 +1,9 @@
 """Simulator protocol and string-keyed platform registry.
 
-Every simulated platform — the I-GCN accelerator, the accelerator
-baselines (AWB-GCN, HyGCN, SIGMA, naive push/pull) and the CPU/GPU
-framework models — sits behind one uniform entry point::
+Every simulated platform of the paper's evaluation (§4.2: the I-GCN
+accelerator, the AWB-GCN / HyGCN / SIGMA accelerator baselines, naive
+push/pull dataflows, and the CPU/GPU framework models of Table 2) sits
+behind one uniform entry point::
 
     from repro.runtime import get_simulator
 

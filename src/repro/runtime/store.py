@@ -1,6 +1,9 @@
 """Pluggable artifact stores: memory, content-addressed disk, tiers.
 
-The Engine's caches are backed by an :class:`ArtifactStore` — a plain
+The paper computes its islandizations once per graph and reuses them
+across every layer and experiment (§3.1's locality story); this module
+is that idea applied to the simulator's own artifacts.  The Engine's
+caches are backed by an :class:`ArtifactStore` — a plain
 ``(kind, key) → artifact`` mapping with three implementations:
 
 * :class:`MemoryStore` — per-process dicts; holds live Python objects

@@ -57,6 +57,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--consumer-backend", "simd"])
 
+    def test_pipeline_defaults_streamed(self):
+        for command in (["run"], ["compare"], ["sweep"]):
+            assert build_parser().parse_args(command).pipeline == "streamed"
+
+    def test_pipeline_choices(self):
+        args = build_parser().parse_args(["run", "--pipeline", "staged"])
+        assert args.pipeline == "staged"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--pipeline", "overlapped"])
+
+    def test_islandize_has_no_pipeline_flag(self):
+        # islandize stops at the locator: there is no consumer to
+        # overlap with.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["islandize", "--pipeline", "staged"])
+
+    def test_docs_defaults(self):
+        args = build_parser().parse_args(["docs", "cli"])
+        assert args.target == "cli"
+        assert args.output == "docs/cli.md"
+        assert args.check is False
+
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench", "locator"])
         assert args.suite == "locator"
@@ -80,7 +102,7 @@ class TestParser:
         code = main(["bench", "locator", "--tiers", "1e3", "--repeats", "1",
                      "--preagg-k", "12"])
         assert code == 2
-        assert "consumer suite" in capsys.readouterr().err
+        assert "consumer and pipeline suites" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -134,6 +156,61 @@ class TestCommands:
         assert record["tiers"][0]["tier"] == "1e3"
         assert record["tiers"][0]["equal"] is True
         assert record["tiers"][0]["functional_verified"] is True
+
+    def test_run_staged_pipeline_same_counts(self, capsys):
+        # Only the latency column may differ between pipeline modes.
+        main(["run", "--dataset", "cora", "--scale", "0.1"])
+        streamed = capsys.readouterr().out
+        main(["run", "--dataset", "cora", "--scale", "0.1",
+              "--pipeline", "staged"])
+        staged = capsys.readouterr().out
+        assert "pipeline" in streamed
+        assert streamed != staged  # latency/pipeline columns differ
+        for token in ("prune_agg", "rounds"):
+            assert token in streamed and token in staged
+
+    def test_bench_pipeline_writes_record(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        code = main(["bench", "pipeline", "--tiers", "1e3", "--repeats", "1",
+                     "--output", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pipeline overlap" in out
+        import json
+
+        record = json.loads(out_file.read_text())
+        assert record["benchmark"] == "pipeline-overlap"
+        row = record["tiers"][0]
+        assert row["equal"] is True
+        assert row["streamed_cycles"] < row["staged_cycles"]
+        assert record["largest_speedup"] > 1.0
+
+    def test_docs_cli_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "cli.md"
+        code = main(["docs", "cli", "--output", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "# CLI reference" in text
+        assert "## `repro bench`" in text
+        assert "--pipeline" in text
+        capsys.readouterr()
+        assert main(["docs", "cli", "--output", str(out_file),
+                     "--check"]) == 0
+        out_file.write_text(text + "drift\n")
+        assert main(["docs", "cli", "--output", str(out_file),
+                     "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_committed_cli_docs_fresh(self):
+        # The committed docs/cli.md must match the live parser — the
+        # same check CI's docs-check job runs.
+        from repro.cli import render_cli_docs
+
+        committed = (
+            __import__("pathlib").Path(__file__).resolve().parent.parent
+            / "docs" / "cli.md"
+        )
+        assert committed.read_text() == render_cli_docs()
 
     def test_bench_locator_writes_record(self, capsys, tmp_path):
         out_file = tmp_path / "bench.json"

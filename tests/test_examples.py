@@ -1,0 +1,35 @@
+"""Smoke tests keeping the examples runnable.
+
+The examples double as documentation; CI's docs-check job compiles all
+of them, and the streaming-pipeline quickstart (small enough to run in
+a test) is executed end-to-end here so its printed claims — identical
+results, a strict overlap win — cannot rot.
+"""
+
+from __future__ import annotations
+
+import compileall
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_examples_compile():
+    assert compileall.compile_dir(str(EXAMPLES), quiet=1, force=True)
+
+
+def test_streaming_pipeline_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["streaming_pipeline.py"])
+    runpy.run_path(
+        str(EXAMPLES / "streaming_pipeline.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "locator stream:" in out
+    assert "round 1:" in out
+    assert "staged vs streamed" in out
+    assert "speedup from streaming" in out
+    # The overlap win the example prints must be a real one (> 1x).
+    win = float(out.rsplit(": ", 1)[1].split("x ")[0])
+    assert win > 1.0

@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.core import LocatorConfig, islandize
 from repro.core.preagg import scan_aggregate, scan_costs
-from repro.core.pipeline import pipelined_makespan
+from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.graph import CSRGraph
 from repro.graph.reorder import get_reordering, reordering_names
 
@@ -179,6 +179,56 @@ class TestPipelineProperties:
         assert makespan >= sum(work) - 1e-9          # server bound
         assert makespan >= releases[-1] - 1e-9       # release bound
         assert makespan <= releases[-1] + sum(work) + 1e-9  # serial bound
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_makespan_sandwich(self, data):
+        """The tight two-sided bound the streamed latency model relies on.
+
+        ``max(sum(C), L_last + C_last) <= makespan <= L_last + sum(C)``
+        — the lower bound is the better of the work-conserving-server
+        and last-release floors, the upper bound is the staged
+        (run-everything-after-the-last-release) schedule.
+        """
+        releases = np.cumsum([r for r, _ in data]).tolist()
+        work = [w for _, w in data]
+        makespan = pipelined_makespan(releases, work)
+        lower = max(sum(work), releases[-1] + work[-1])
+        upper = releases[-1] + sum(work)
+        assert lower - 1e-9 <= makespan <= upper + 1e-9
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=10,
+        ),
+        consumer_cycles=st.floats(0, 1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_streamed_schedule_conserves_work(self, data, consumer_cycles):
+        """Measured schedules distribute exactly the consumer's cycles.
+
+        Releases are the locator's cumulative round starts (first at 0,
+        non-decreasing) and the chunks always sum to ``consumer_cycles``
+        regardless of the work distribution — including the all-zero
+        fallback.
+        """
+        round_cycles = [r for r, _ in data]
+        round_work = [w for _, w in data]
+        releases, chunks = streamed_schedule(
+            round_cycles, round_work, consumer_cycles
+        )
+        assert releases[0] == 0.0
+        assert releases == sorted(releases)
+        assert releases[-1] <= sum(round_cycles) + 1e-9
+        assert np.isclose(sum(chunks), consumer_cycles)
 
 
 # ----------------------------------------------------------------------
