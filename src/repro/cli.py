@@ -58,6 +58,7 @@ from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
 from repro.eval.bench_consumer import run_consumer_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
+from repro.eval.bench_partition import PARTITION_TIERS, run_partition_bench
 from repro.eval.bench_pipeline import run_pipeline_bench
 from repro.eval.experiments import (
     experiment_fig9,
@@ -117,6 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TP-BFS implementation: the vectorized batched "
                             "kernel (default) or the scalar oracle loop; "
                             "results are identical, only speed differs")
+        p.add_argument("--partitions", type=int, default=1,
+                       help="shard the graph and islandize shards in "
+                            "parallel worker processes (default: 1 = "
+                            "monolithic; >1 trades islandization quality "
+                            "for wall clock and peak memory, see "
+                            "docs/architecture.md)")
+        p.add_argument("--partition-strategy", choices=["separator", "range"],
+                       default="separator",
+                       help="how --partitions > 1 splits the graph: "
+                            "'separator' (default) cuts at degree-ordered "
+                            "vertex separators so no island-able edge "
+                            "crosses shards; 'range' is the naive "
+                            "contiguous-id baseline")
 
     def add_backend_arg(p: argparse.ArgumentParser) -> None:
         add_locator_backend_arg(p)
@@ -199,23 +213,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="performance benchmarks (backends and pipeline modes)"
     )
-    bench.add_argument("suite", choices=["locator", "consumer", "pipeline"],
+    bench.add_argument("suite",
+                       choices=["locator", "consumer", "pipeline",
+                                "partition"],
                        help="benchmark suite to run: locator/consumer time "
                             "scalar vs batched backends, pipeline times "
                             "staged vs streamed execution and records the "
-                            "modelled overlap win")
-    bench.add_argument("--tiers", nargs="+", choices=list(BENCH_TIERS),
-                       default=list(BENCH_TIERS),
+                            "modelled overlap win, partition times "
+                            "monolithic vs sharded islandization in fresh "
+                            "processes and records peak RSS plus the "
+                            "quality delta")
+    tier_choices = list(BENCH_TIERS) + [
+        t for t in PARTITION_TIERS if t not in BENCH_TIERS
+    ]
+    bench.add_argument("--tiers", nargs="+", choices=tier_choices,
+                       default=None,
                        help="graph-scale tiers by undirected edge count "
-                            "(default: all)")
+                            "(default: every tier of the chosen suite; "
+                            "locator/consumer/pipeline ladder ends at 2e6, "
+                            "the partition ladder is 2e5/2e6/2e7)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="best-of repeats for the batched backend")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--cmax", type=int, default=64)
     bench.add_argument("--preagg-k", type=int, default=_DEFAULT_PREAGG_K,
                        help="consumer suite: pre-aggregation window width")
+    bench.add_argument("--partitions", type=int, default=4,
+                       help="partition suite: shard count for the "
+                            "partitioned contender")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="partition suite: worker processes "
+                            "(default: --partitions)")
+    bench.add_argument("--partition-strategy",
+                       choices=["separator", "range"], default="separator",
+                       help="partition suite: graph-splitting strategy")
+    bench.add_argument("--max-edges", type=int, default=None,
+                       help="partition suite: cap every tier's target edge "
+                            "count so the big tiers smoke-run small (CI "
+                            "uses this; the cap is recorded in the JSON)")
+    bench.add_argument("--graph-dir", metavar="DIR", default=None,
+                       help="partition suite: cache generated benchmark "
+                            "graphs under DIR (default: a shared temp "
+                            "directory)")
     bench.add_argument("--no-verify", action="store_true",
-                       help="skip the backend-equivalence check per tier")
+                       help="skip the per-tier verification (backend "
+                            "equivalence, or for the partition suite the "
+                            "partitions=1 equality oracle and result "
+                            "validation)")
     bench.add_argument("--output", metavar="FILE", default=None,
                        help="JSON record destination (default: "
                             "BENCH_<suite>.json; without an explicit "
@@ -238,17 +282,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser(
         "cache", help="inspect, clear, or size-evict the artifact store"
     )
-    cache.add_argument("action", choices=["stats", "clear", "evict"],
+    cache.add_argument("action", choices=["stats", "clear", "evict",
+                                          "verify"],
                        help="stats: per-kind entry counts and bytes; "
                             "clear: delete every persisted artifact; "
                             "evict: drop least-recently-written artifacts "
-                            "until the store fits --max-size")
+                            "until the store fits --max-size; "
+                            "verify: sweep the store for orphaned or "
+                            "corrupt files and report them (--repair "
+                            "deletes them)")
     cache.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="store location (default: $REPRO_CACHE_DIR, "
                             "else ~/.cache/repro)")
     cache.add_argument("--max-size", metavar="SIZE", default=None,
                        help="evict: size budget as bytes or with a K/M/G "
                             "suffix (e.g. 500M, 1.5G)")
+    cache.add_argument("--repair", action="store_true",
+                       help="verify: delete every orphaned or corrupt "
+                            "file found (default: report only)")
 
     docs = sub.add_parser(
         "docs", help="regenerate generated documentation"
@@ -288,6 +339,15 @@ def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
     return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def _locator_kwargs(args: argparse.Namespace) -> dict:
+    """Locator knobs shared by every command with a locator phase."""
+    return {
+        "backend": args.locator_backend,
+        "partitions": args.partitions,
+        "partition_strategy": args.partition_strategy,
+    }
+
+
 def _cmd_run(args) -> int:
     platform = resolve_name(args.platform)
     if args.functional and platform != "igcn":
@@ -302,7 +362,7 @@ def _cmd_run(args) -> int:
     # The engine supplies cached artifacts (datasets, islandizations);
     # with --cache-dir they persist, so a repeated run warm-starts.
     engine = Engine(
-        locator=LocatorConfig(backend=args.locator_backend),
+        locator=LocatorConfig(**_locator_kwargs(args)),
         consumer=ConsumerConfig(backend=args.consumer_backend,
                                 pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
@@ -315,8 +375,7 @@ def _cmd_run(args) -> int:
     if platform == "igcn":
         sim = get_simulator(
             "igcn",
-            locator=LocatorConfig(c_max=args.cmax,
-                                  backend=args.locator_backend),
+            locator=LocatorConfig(c_max=args.cmax, **_locator_kwargs(args)),
             consumer=ConsumerConfig(preagg_k=args.preagg_k,
                                     backend=args.consumer_backend,
                                     pipeline=args.pipeline),
@@ -350,7 +409,7 @@ def _cmd_run(args) -> int:
 def _cmd_islandize(args) -> int:
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     config = LocatorConfig(c_max=args.cmax, th0=args.th0, decay=args.decay,
-                           backend=args.locator_backend)
+                           **_locator_kwargs(args))
     result = IGCNAccelerator(locator=config).islandize(ds.graph)
     result.validate()
     rows = [
@@ -375,7 +434,7 @@ def _cmd_islandize(args) -> int:
 
 def _cmd_compare(args) -> int:
     engine = Engine(
-        locator=LocatorConfig(backend=args.locator_backend),
+        locator=LocatorConfig(**_locator_kwargs(args)),
         consumer=ConsumerConfig(backend=args.consumer_backend,
                                 pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
@@ -404,7 +463,7 @@ def _cmd_compare(args) -> int:
 
 def _cmd_sweep(args) -> int:
     engine = Engine(
-        locator=LocatorConfig(backend=args.locator_backend),
+        locator=LocatorConfig(**_locator_kwargs(args)),
         consumer=ConsumerConfig(backend=args.consumer_backend,
                                 pipeline=args.pipeline),
         cache_dir=_resolve_cache_dir(args),
@@ -446,6 +505,23 @@ def _cmd_sweep(args) -> int:
 def _cmd_cache(args) -> int:
     # default_cache_dir() already prefers $REPRO_CACHE_DIR when set.
     store = DiskStore(args.cache_dir or default_cache_dir())
+    if args.repair and args.action != "verify":
+        raise ReproError("--repair only applies to cache verify")
+    if args.action == "verify":
+        report = store.verify(repair=args.repair)
+        print(f"artifact store at {report.root}: "
+              f"{report.ok} artifacts intact, "
+              f"{len(report.orphaned)} orphaned, "
+              f"{len(report.corrupt)} corrupt")
+        for label, paths in (("orphaned", report.orphaned),
+                             ("corrupt", report.corrupt)):
+            for path in paths:
+                print(f"  {label}: {path}")
+        if args.repair:
+            print(f"removed {report.removed} files")
+        elif not report.clean:
+            print("run `repro cache verify --repair` to delete them")
+        return 0 if (report.clean or args.repair) else 1
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} artifacts from {store.root}")
@@ -478,14 +554,41 @@ def _cmd_bench(args) -> int:
         raise SimulationError(
             f"--repeats must be >= 1 (got {args.repeats})"
         )
-    if args.suite == "locator":
+    if args.suite != "partition":
+        # Silently ignoring partition-only knobs would mislead.
+        for flag, default in (("partitions", 4), ("workers", None),
+                              ("partition_strategy", "separator"),
+                              ("max_edges", None), ("graph_dir", None)):
+            if getattr(args, flag) != default:
+                raise SimulationError(
+                    f"--{flag.replace('_', '-')} only applies to the "
+                    f"partition suite"
+                )
+    tiers = args.tiers or (
+        list(PARTITION_TIERS) if args.suite == "partition"
+        else list(BENCH_TIERS)
+    )
+    if args.suite == "partition":
+        record = run_partition_bench(
+            tiers=tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            c_max=args.cmax,
+            partitions=args.partitions,
+            workers=args.workers,
+            strategy=args.partition_strategy,
+            max_edges=args.max_edges,
+            graph_dir=args.graph_dir,
+            verify=not args.no_verify,
+        )
+    elif args.suite == "locator":
         if args.preagg_k != _DEFAULT_PREAGG_K:
             raise SimulationError(
                 "--preagg-k configures the consumer scan and only applies "
                 "to the consumer and pipeline suites"
             )
         record = run_locator_bench(
-            tiers=args.tiers,
+            tiers=tiers,
             repeats=args.repeats,
             seed=args.seed,
             c_max=args.cmax,
@@ -493,7 +596,7 @@ def _cmd_bench(args) -> int:
         )
     elif args.suite == "consumer":
         record = run_consumer_bench(
-            tiers=args.tiers,
+            tiers=tiers,
             repeats=args.repeats,
             seed=args.seed,
             c_max=args.cmax,
@@ -502,14 +605,37 @@ def _cmd_bench(args) -> int:
         )
     else:
         record = run_pipeline_bench(
-            tiers=args.tiers,
+            tiers=tiers,
             repeats=args.repeats,
             seed=args.seed,
             c_max=args.cmax,
             preagg_k=args.preagg_k,
             verify=not args.no_verify,
         )
-    if args.suite == "pipeline":
+    if args.suite == "partition":
+        rows = [
+            {
+                "tier": row["tier"],
+                "profile": row["profile"],
+                "edges": row["edges"],
+                "mono_s": row["mono_s"],
+                "part_s": row["part_s"],
+                "speedup": row["speedup"],
+                "mono_rss_mb": row["mono_rss_mb"],
+                "part_rss_mb": row["part_rss_mb"],
+                "cer_delta": row["quality_delta"]["classified_edge_ratio"],
+                "equal_p1": (
+                    "-" if row["equal_p1"] is None else str(row["equal_p1"])
+                ),
+            }
+            for row in record["tiers"]
+        ]
+        title = (
+            f"partitioned islandization, {record['config']['partitions']} "
+            f"shards x {record['config']['workers']} workers "
+            f"(best-of wall clock, fresh processes)"
+        )
+    elif args.suite == "pipeline":
         rows = [
             {
                 "tier": row["tier"],
@@ -554,9 +680,13 @@ def _cmd_bench(args) -> int:
             return 2
     # Write the record first: on a divergence it is the evidence.
     Path(output).write_text(json.dumps(record, indent=2) + "\n")
-    if any(row["equal"] is False for row in record["tiers"]):
+    equal_key = "equal_p1" if args.suite == "partition" else "equal"
+    if any(row[equal_key] is False for row in record["tiers"]):
         what = (
-            "pipeline modes" if args.suite == "pipeline" else "backends"
+            "the partitions=1 oracle and the monolithic locator"
+            if args.suite == "partition"
+            else "pipeline modes" if args.suite == "pipeline"
+            else "backends"
         )
         print(f"error: {what} diverged — see rows above and "
               f"{output}", file=sys.stderr)

@@ -9,6 +9,10 @@ from repro.core.consumer import IslandConsumer, LayerCounts, prepare_tasks
 from repro.core.consumer_batched import TaskBatch
 from repro.core.interhub import InterHubPlan, build_interhub_plan
 from repro.core.islandizer import IslandLocator, islandize
+from repro.core.islandizer_partitioned import (
+    islandize_partitioned,
+    quality_metrics,
+)
 from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.core.preagg import ScanCounts, scan_aggregate, scan_costs
 from repro.core.schedule import PEScheduleReport, ScheduledTask, schedule_islands
@@ -35,6 +39,8 @@ __all__ = [
     "build_interhub_plan",
     "IslandLocator",
     "islandize",
+    "islandize_partitioned",
+    "quality_metrics",
     "ScanCounts",
     "PEScheduleReport",
     "ScheduledTask",

@@ -41,7 +41,7 @@ import numpy as np
 from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.consumer import IslandConsumer, LayerCounts
 from repro.core.interhub import build_interhub_plan
-from repro.core.islandizer import IslandLocator
+from repro.core.islandizer import IslandLocator, islandize
 from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.core.types import IslandizationResult
 from repro.errors import SimulationError
@@ -154,8 +154,12 @@ class IGCNAccelerator:
 
     # ------------------------------------------------------------------
     def islandize(self, graph: CSRGraph) -> IslandizationResult:
-        """Run only the Island Locator (strips self-loops first)."""
-        return IslandLocator(self.locator_config).run(graph.without_self_loops())
+        """Run only the Island Locator (strips self-loops first).
+
+        Honours ``LocatorConfig.partitions``: values > 1 dispatch to
+        the partition-parallel locator.
+        """
+        return islandize(graph.without_self_loops(), self.locator_config)
 
     # ------------------------------------------------------------------
     def run(
@@ -214,16 +218,22 @@ class IGCNAccelerator:
                     )
                 )
 
-            if result is None:
+            if result is None and self.locator_config.partitions == 1:
                 result = IslandLocator(self.locator_config).run(
                     clean, on_round=assemble
                 )
             else:
+                if result is None:
+                    # Partitioned locator: no live round stream — the
+                    # merged result replays its recorded rounds, which
+                    # the streamed overlap model consumes identically
+                    # (the cached-islandization path below).
+                    result = islandize(clean, self.locator_config)
                 for chunk in result.iter_rounds():
                     assemble(chunk)
         else:
             if result is None:
-                result = IslandLocator(self.locator_config).run(clean)
+                result = islandize(clean, self.locator_config)
             # Backend-appropriate task representation (packed TaskBatch
             # for the batched consumer, per-island bitmaps for the
             # scalar oracle), built once and shared by every layer.

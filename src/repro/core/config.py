@@ -51,6 +51,24 @@ class LocatorConfig:
         exact same :class:`~repro.core.types.IslandizationResult`; the
         backend is still part of the config digest so cached artifacts
         never mix backends.
+    partitions:
+        Number of graph shards for partitioned, out-of-core
+        islandization (``repro.core.islandizer_partitioned``).  ``1``
+        (default) runs the monolithic locator; values > 1 split the
+        graph with ``partition_strategy``, islandize every shard in a
+        worker-process fleet over memory-mapped shard files, and merge
+        the shard results into one ``IslandizationResult``.  Like the
+        backend switch, the value is part of the config digest so
+        cached islandizations never mix partition settings.
+    partition_strategy:
+        How the graph is split (``repro.graph.partition``):
+        ``"separator"`` (default) grows a degree-aware vertex separator
+        using this config's own threshold schedule, so every
+        cross-shard path runs through nodes the locator would classify
+        as hubs anyway; ``"range"`` slices contiguous node ranges
+        balanced by edge count and promotes the endpoints of every
+        cross-range edge — the naive baseline the separator strategy is
+        measured against.
     """
 
     p1: int = 64
@@ -61,6 +79,8 @@ class LocatorConfig:
     th_min: int = 1
     c_max: int = 64
     backend: str = "batched"
+    partitions: int = 1
+    partition_strategy: str = "separator"
 
     def __post_init__(self) -> None:
         if self.p1 < 1 or self.p2 < 1:
@@ -79,6 +99,13 @@ class LocatorConfig:
             raise ConfigError("th_min must be >= 1")
         if self.c_max < 1:
             raise ConfigError("c_max must be >= 1")
+        if self.partitions < 1:
+            raise ConfigError("partitions must be >= 1")
+        if self.partition_strategy not in ("separator", "range"):
+            raise ConfigError(
+                f"partition_strategy must be 'separator' or 'range' "
+                f"(got {self.partition_strategy!r})"
+            )
 
     def initial_threshold(self, degrees: np.ndarray) -> int:
         """Resolve TH0 for a given degree array."""

@@ -58,6 +58,11 @@ __all__ = [
 #: hundred MB regardless of how many same-shape islands a graph has.
 _CHUNK_CELLS = 1 << 24
 
+#: Element budget for one hub-fold block: bounds the dense
+#: ``(active hubs, ranks + 1, channels)`` cumsum operand to ~16 MB of
+#: float64 regardless of how many islands the hottest hub touches.
+_FOLD_BLOCK_ELEMS = 1 << 21
+
 
 def _empty() -> np.ndarray:
     return np.zeros(0, dtype=np.int64)
@@ -659,26 +664,59 @@ def _ordered_hub_fold(state, positions: np.ndarray,
     """Accumulate contributions per hub in exact sequential order.
 
     Additions to *different* hubs commute; within one hub the float
-    left-fold order matters.  Each contribution gets its per-hub
-    occurrence rank, and ranks are applied one vectorized scatter at a
-    time (indices within a rank are unique), which performs exactly the
-    scalar loop's addition sequence for every hub.
+    left-fold order matters.  Contributions are segmented per hub (the
+    stable sort keeps each segment in arrival order) and folded a block
+    of ranks at a time: the running accumulator seeds row 0 of a dense
+    per-hub block and ``cumsum`` — a strict sequential ``accumulate``,
+    unlike pairwise ``reduce`` — replays the scalar loop's addition
+    sequence bit for bit.  Python-level iterations scale with
+    ``max ranks / block width`` instead of ``max ranks``, so a single
+    hot hub touching thousands of islands no longer degenerates into
+    thousands of one-row scatters.
     """
     total = len(positions)
     if total == 0:
         return
     order = np.argsort(positions, kind="stable")
-    segment_starts = _cumsum0(
-        np.bincount(positions, minlength=len(state.hub_ids))
-    )
-    rank = np.empty(total, dtype=np.int64)
-    rank[order] = (
-        np.arange(total, dtype=np.int64) - segment_starts[positions[order]]
-    )
-    by_rank = np.argsort(rank, kind="stable")
+    counts_all = np.bincount(positions, minlength=len(state.hub_ids))
+    hubs = np.flatnonzero(counts_all)
+    seg_starts = _cumsum0(counts_all)[hubs]
+    remaining = counts_all[hubs]
+    done = np.zeros(len(hubs), dtype=np.int64)
+    active = np.arange(len(hubs), dtype=np.int64)
     hub_acc = state.hub_acc
-    offset = 0
-    for count in np.bincount(rank).tolist():
-        chunk = by_rank[offset:offset + count]
-        hub_acc[positions[chunk]] += contrib[chunk]
-        offset += count
+    channels = contrib.shape[1]
+    while len(active):
+        n_act = len(active)
+        width = int(min(
+            int(remaining[active].max()),
+            max(1, _FOLD_BLOCK_ELEMS // (n_act * max(1, channels)) - 1),
+        ))
+        take = np.minimum(remaining[active], width)
+        taken = int(take.sum())
+        flat_rows = np.repeat(np.arange(n_act, dtype=np.int64), take)
+        inner = (
+            np.arange(taken, dtype=np.int64)
+            - np.repeat(_cumsum0(take)[:-1], take)
+        )
+        src = order[
+            np.repeat(seg_starts[active] + done[active], take) + inner
+        ]
+        if width == 1:
+            # One rank per hub: a plain scatter-add is the fold.
+            hub_acc[hubs[active]] += contrib[src]
+        else:
+            # Seed row 0 with the running accumulator and cumsum along
+            # the rank axis: ``accumulate`` is a strict left fold, so
+            # row ``take`` holds exactly the scalar addition sequence.
+            # Zero padding sits past each hub's last rank, never read.
+            block = np.zeros((n_act, width + 1, channels), dtype=np.float64)
+            block[:, 0, :] = hub_acc[hubs[active]]
+            block[flat_rows, inner + 1, :] = contrib[src]
+            np.cumsum(block, axis=1, out=block)
+            hub_acc[hubs[active]] = block[
+                np.arange(n_act, dtype=np.int64), take, :
+            ]
+        done[active] += take
+        remaining[active] -= take
+        active = active[remaining[active] > 0]

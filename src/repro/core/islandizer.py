@@ -415,7 +415,27 @@ class IslandLocator:
 
 
 def islandize(
-    graph: CSRGraph, config: LocatorConfig | None = None
+    graph: CSRGraph,
+    config: LocatorConfig | None = None,
+    *,
+    store=None,
+    max_workers: int | None = None,
 ) -> IslandizationResult:
-    """Convenience wrapper: run the Island Locator on ``graph``."""
+    """Convenience wrapper: run the Island Locator on ``graph``.
+
+    With ``config.partitions > 1`` the run is dispatched to the
+    partition-parallel, out-of-core locator
+    (:func:`repro.core.islandizer_partitioned.islandize_partitioned`);
+    ``store`` and ``max_workers`` only apply there.  ``partitions == 1``
+    runs monolithically in-process — no shard files, no worker fleet —
+    which is also exactly what the partitioned path's single-shard
+    oracle contract reproduces.
+    """
+    config = config or LocatorConfig()
+    if config.partitions > 1:
+        from repro.core.islandizer_partitioned import islandize_partitioned
+
+        return islandize_partitioned(
+            graph, config, store=store, max_workers=max_workers
+        )
     return IslandLocator(config).run(graph)

@@ -399,12 +399,33 @@ class IslandizationResult:
             name=str(meta["graph_name"]),
         )
         m_off, h_off = arrays["island_member_offsets"], arrays["island_hub_offsets"]
+        members_flat = arrays["island_members_flat"]
+        hubs_flat = arrays["island_hubs_flat"]
+        # Batched Island.__post_init__: one pass over the flat arrays
+        # instead of a per-island constructor (which is quadratic in
+        # feel at a few hundred thousand islands).
+        if (np.diff(m_off) < 1).any():
+            raise IslandizationError("an island must have at least one member")
+        num_islands = len(m_off) - 1
+        span = int(
+            max(members_flat.max(initial=-1), hubs_flat.max(initial=-1))
+        ) + 1
+        member_keys = (
+            np.repeat(np.arange(num_islands, dtype=np.int64), np.diff(m_off))
+            * span + members_flat
+        )
+        hub_keys = (
+            np.repeat(np.arange(num_islands, dtype=np.int64), np.diff(h_off))
+            * span + hubs_flat
+        )
+        if len(np.intersect1d(member_keys, hub_keys)) != 0:
+            raise IslandizationError("a node cannot be both member and hub")
         islands = [
-            Island(
+            Island.from_trusted_arrays(
                 island_id=int(island_id),
                 round_id=int(round_id),
-                members=arrays["island_members_flat"][m_off[i]:m_off[i + 1]],
-                hubs=arrays["island_hubs_flat"][h_off[i]:h_off[i + 1]],
+                members=members_flat[m_off[i]:m_off[i + 1]],
+                hubs=hubs_flat[h_off[i]:h_off[i + 1]],
             )
             for i, (island_id, round_id) in enumerate(
                 zip(arrays["island_ids"], arrays["island_rounds"])

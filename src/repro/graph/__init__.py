@@ -18,6 +18,13 @@ from repro.graph.datasets import (
     figure7_island_graph,
     load_dataset,
 )
+from repro.graph.partition import (
+    GraphPartition,
+    GraphShard,
+    PartitionError,
+    PartitionStats,
+    partition_graph,
+)
 from repro.graph.stats import GraphStats, connected_components, graph_stats
 
 __all__ = [
@@ -38,4 +45,9 @@ __all__ = [
     "GraphStats",
     "graph_stats",
     "connected_components",
+    "GraphPartition",
+    "GraphShard",
+    "PartitionError",
+    "PartitionStats",
+    "partition_graph",
 ]

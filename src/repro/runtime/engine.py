@@ -36,7 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Iterable, Sequence
 
 from repro.core.config import ConsumerConfig, LocatorConfig
-from repro.core.islandizer import IslandLocator
+from repro.core.islandizer import islandize
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError, SimulationError
 from repro.graph.csr import CSRGraph
@@ -251,7 +251,8 @@ class Engine:
         clean = self.clean_graph(graph)
         key = f"{graph_fingerprint(clean)}|loc={config_digest(config)}"
         return self._memo(
-            "islandization", key, lambda: IslandLocator(config).run(clean)
+            "islandization", key,
+            lambda: islandize(clean, config, store=self.store),
         )
 
     def workload(

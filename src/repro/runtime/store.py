@@ -42,6 +42,7 @@ from repro.core.types import IslandizationResult
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import Dataset
+from repro.graph.partition import GraphShard
 from repro.models.workload import Workload
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "MemoryStore",
     "DiskStore",
     "TieredStore",
+    "VerifyReport",
     "default_cache_dir",
     "build_store",
 ]
@@ -61,9 +63,12 @@ MISS = object()
 
 #: Artifact kinds the Engine routes through the store, in dependency
 #: order.  "report" holds live report objects (memory tiers only);
-#: "summary" holds their JSON-able shared-schema rows (disk-cacheable).
+#: "summary" holds their JSON-able shared-schema rows (disk-cacheable);
+#: "shard" holds graph partition shards that the partitioned
+#: islandizer's worker fleet memory-maps straight off the disk tier.
 ARTIFACT_KINDS = (
-    "dataset", "clean_graph", "islandization", "workload", "report", "summary",
+    "dataset", "clean_graph", "shard", "islandization", "workload",
+    "report", "summary",
 )
 
 
@@ -200,6 +205,7 @@ class DiskStore(ArtifactStore):
     CODECS: dict[str, tuple[str, Callable, Callable]] = {
         "dataset": _npz_codec(Dataset),
         "clean_graph": _npz_codec(CSRGraph),
+        "shard": _npz_codec(GraphShard),
         "islandization": _npz_codec(IslandizationResult),
         "workload": _npz_codec(Workload),
         "summary": (".json", _json_encode, _json_decode),
@@ -221,6 +227,17 @@ class DiskStore(ArtifactStore):
             f"v{self.VERSION}\x00{kind}\x00{key}".encode(), digest_size=16
         ).hexdigest()
         return self.root / kind / f"{digest}{ext}"
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """On-disk location of ``(kind, key)`` — existing or not.
+
+        This is the store's *out-of-core read path*: the partitioned
+        islandizer hands worker processes this path so they can
+        memory-map the artifact instead of deserializing a copy.
+        """
+        if not self.handles(kind):
+            raise ConfigError(f"disk store has no codec for kind {kind!r}")
+        return self._path(kind, key)
 
     def get(self, kind: str, key: str) -> Any:
         if not self.handles(kind):
@@ -308,6 +325,82 @@ class DiskStore(ArtifactStore):
                 out[kind] = (len(files), sum(p.stat().st_size for p in files))
         return out
 
+    def verify(self, repair: bool = False) -> "VerifyReport":
+        """Integrity sweep over the cache directory.
+
+        Classifies every file under the root:
+
+        * **ok** — a completed artifact of a known kind that its codec
+          can decode;
+        * **corrupt** — right name and place, but the codec rejects it
+          (truncated npz, bad digest, malformed JSON, …);
+        * **orphaned** — everything else: ``.tmp-`` debris from killed
+          writers, files whose name is not a digest this store would
+          produce, wrong extensions, and files inside directories that
+          are not artifact kinds.
+
+        With ``repair=True`` corrupt and orphaned files are deleted
+        (artifacts re-materialize on the next miss; a live writer's
+        in-flight tmp file dying with them costs only that one put).
+        Returns a :class:`VerifyReport`; the sweep itself never raises
+        on file contents.
+        """
+        ok = 0
+        orphaned: list[Path] = []
+        corrupt: list[Path] = []
+        if self.root.is_dir():
+            for entry in sorted(self.root.iterdir()):
+                if not entry.is_dir():
+                    orphaned.append(entry)
+                    continue
+                known = entry.name in self.CODECS
+                ext = self.CODECS[entry.name][0] if known else ""
+                decode = self.CODECS[entry.name][2] if known else None
+                for path in sorted(entry.iterdir()):
+                    if not path.is_file() or not known:
+                        orphaned.append(path)
+                    elif not self._well_named(path, ext):
+                        orphaned.append(path)
+                    elif self._decodes(path, decode):
+                        ok += 1
+                    else:
+                        corrupt.append(path)
+        removed = 0
+        if repair:
+            for path in orphaned + corrupt:
+                try:
+                    if path.is_dir():
+                        shutil.rmtree(path)
+                    else:
+                        path.unlink()
+                except OSError:
+                    continue  # raced or unremovable: report, don't count
+                removed += 1
+        return VerifyReport(
+            root=str(self.root),
+            ok=ok,
+            orphaned=[str(p) for p in orphaned],
+            corrupt=[str(p) for p in corrupt],
+            removed=removed,
+        )
+
+    @staticmethod
+    def _well_named(path: Path, ext: str) -> bool:
+        """Whether ``path`` is a filename this store's put() produces."""
+        if path.name.startswith(".tmp-") or path.suffix != ext:
+            return False
+        stem = path.name[: -len(ext)]
+        return len(stem) == 32 and all(c in "0123456789abcdef" for c in stem)
+
+    @staticmethod
+    def _decodes(path: Path, decode: Callable) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                decode(fh)
+        except Exception:
+            return False
+        return True
+
     def evict(self, max_bytes: int) -> tuple[int, int]:
         """Evict least-recently-used artifacts until ≤ ``max_bytes``.
 
@@ -347,6 +440,22 @@ class DiskStore(ArtifactStore):
                 freed += size
             total -= size
         return removed, freed
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """What :meth:`DiskStore.verify` found (and, on repair, removed)."""
+
+    root: str
+    ok: int
+    orphaned: list[str]
+    corrupt: list[str]
+    removed: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every file on disk is a decodable artifact."""
+        return not self.orphaned and not self.corrupt
 
 
 class TieredStore(ArtifactStore):

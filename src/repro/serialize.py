@@ -25,6 +25,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import struct
+import zipfile
 from functools import lru_cache
 from typing import IO, Any
 
@@ -32,7 +34,14 @@ import numpy as np
 
 from repro.errors import ReproError
 
-__all__ = ["META_KEY", "SerializationError", "write_npz", "read_npz", "config_digest"]
+__all__ = [
+    "META_KEY",
+    "SerializationError",
+    "write_npz",
+    "read_npz",
+    "read_npz_mmap",
+    "config_digest",
+]
 
 #: Archive member holding the JSON metadata record.
 META_KEY = "__meta__"
@@ -77,6 +86,72 @@ def read_npz(file: str | IO[bytes]) -> tuple[dict[str, np.ndarray], dict[str, An
             meta = json.loads(archive[META_KEY].tobytes().decode())
         else:
             meta = {}
+    return arrays, meta
+
+
+#: Byte length of a zip local-file-header before the (variable) name
+#: and extra fields; offsets 26/28 hold those two lengths.
+_ZIP_LOCAL_HEADER = 30
+
+
+def read_npz_mmap(path: str | os.PathLike) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load a :func:`write_npz` archive with **memory-mapped** arrays.
+
+    ``numpy.load`` silently ignores ``mmap_mode`` for ``.npz`` archives
+    (it only applies to bare ``.npy`` files), so out-of-core readers
+    that must not materialise their arrays — partitioned-islandization
+    workers mapping one graph shard each — go through this reader
+    instead: every array comes back as a read-only ``np.memmap`` onto
+    the archive file itself, so resident memory grows only with the
+    pages actually touched.
+
+    Works because :func:`write_npz` stores members uncompressed and a
+    stored zip member's payload is a contiguous byte range: the member's
+    npy header is parsed in place and the data mapped at its absolute
+    offset.  Compressed or pickled members are rejected.  The metadata
+    record is decoded eagerly (it is small by construction).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] = {}
+    try:
+        with open(path, "rb") as fh:
+            with zipfile.ZipFile(fh) as archive:
+                for info in archive.infolist():
+                    name = info.filename.removesuffix(".npy")
+                    if info.compress_type != zipfile.ZIP_STORED:
+                        raise SerializationError(
+                            f"member {name!r} of {path!r} is compressed; "
+                            f"mmap reads need write_npz's stored layout"
+                        )
+                    fh.seek(info.header_offset)
+                    header = fh.read(_ZIP_LOCAL_HEADER)
+                    name_len, extra_len = struct.unpack("<HH", header[26:30])
+                    fh.seek(info.header_offset + _ZIP_LOCAL_HEADER
+                            + name_len + extra_len)
+                    version = np.lib.format.read_magic(fh)
+                    if version == (1, 0):
+                        shape, fortran, dtype = (
+                            np.lib.format.read_array_header_1_0(fh)
+                        )
+                    else:
+                        shape, fortran, dtype = (
+                            np.lib.format.read_array_header_2_0(fh)
+                        )
+                    if dtype.hasobject:
+                        raise SerializationError(
+                            f"member {name!r} of {path!r} holds objects"
+                        )
+                    if name == META_KEY:
+                        meta = json.loads(fh.read(int(np.prod(shape))).decode())
+                        continue
+                    arrays[name] = np.memmap(
+                        path, dtype=dtype, mode="r", offset=fh.tell(),
+                        shape=shape, order="F" if fortran else "C",
+                    )
+    except SerializationError:
+        raise
+    except Exception as exc:  # zip/npy-header damage → one error type
+        raise SerializationError(f"cannot mmap npz archive {path!r}: {exc}") from exc
     return arrays, meta
 
 

@@ -83,7 +83,24 @@ class TestParser:
         args = build_parser().parse_args(["bench", "locator"])
         assert args.suite == "locator"
         assert args.output is None  # resolved to BENCH_locator.json
-        assert "1e3" in args.tiers
+        assert args.tiers is None  # resolved to the suite's own ladder
+
+    def test_bench_partition_suite_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "partition", "--partitions", "8", "--workers", "2",
+             "--max-edges", "50000"]
+        )
+        assert args.suite == "partition"
+        assert args.partitions == 8
+        assert args.workers == 2
+        assert args.max_edges == 50000
+
+    def test_run_partition_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--partitions", "4", "--partition-strategy", "range"]
+        )
+        assert args.partitions == 4
+        assert args.partition_strategy == "range"
 
     def test_bench_consumer_suite(self):
         args = build_parser().parse_args(["bench", "consumer"])

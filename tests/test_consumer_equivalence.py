@@ -175,6 +175,70 @@ class TestChunkedFunctionalScan:
         assert_equivalent(graph)
 
 
+def _hot_hub_graph(num_islands: int) -> CSRGraph:
+    """One hub node feeding ``num_islands`` two-node islands.
+
+    Every island task contributes to the same hub row, so the ordered
+    hub fold sees a single segment with ``num_islands`` ranks — the
+    pathological shape that used to cost one Python-level scatter per
+    rank.
+    """
+    builder = GraphBuilder(1 + 2 * num_islands)
+    for i in range(num_islands):
+        a, b = 1 + 2 * i, 2 + 2 * i
+        builder.add_edge(a, b)
+        builder.add_edge(0, a)
+    return builder.build()
+
+
+class TestHotHubFold:
+    """Single hot hub touching thousands of islands (blocked fold)."""
+
+    def test_single_hot_hub_thousands_of_islands(self):
+        assert_equivalent(_hot_hub_graph(1200), locator_kwargs={"th0": 8})
+
+    def test_tiny_fold_blocks_stay_exact(self, monkeypatch):
+        # Force the fold through many narrow blocks: block boundaries
+        # must not change a single bit of the accumulation.
+        import repro.core.consumer_batched as consumer_batched
+
+        monkeypatch.setattr(consumer_batched, "_FOLD_BLOCK_ELEMS", 64)
+        assert_equivalent(_hot_hub_graph(150), locator_kwargs={"th0": 8})
+
+    def test_fold_is_exact_and_single_pass(self):
+        # The regression itself: one hub with thousands of ranks must
+        # fold in O(max-rank / block-width) passes — here exactly one
+        # cumsum — while reproducing the scalar left fold bit for bit.
+        from types import SimpleNamespace
+        from unittest import mock
+
+        import repro.core.consumer_batched as consumer_batched
+
+        rng = np.random.default_rng(3)
+        ranks, channels = 5000, 8
+        contrib = rng.normal(size=(ranks, channels))
+        positions = np.zeros(ranks, dtype=np.int64)
+        start = rng.normal(size=(1, channels))
+        expected = start[0].copy()
+        for row in contrib:
+            expected = expected + row
+        state = SimpleNamespace(
+            hub_ids=np.array([7]), hub_acc=start.copy()
+        )
+        passes = {"n": 0}
+        real_cumsum = np.cumsum
+
+        def counting_cumsum(a, *args, **kwargs):
+            if getattr(a, "ndim", 0) == 3:  # block folds, not cumsum0
+                passes["n"] += 1
+            return real_cumsum(a, *args, **kwargs)
+
+        with mock.patch.object(np, "cumsum", counting_cumsum):
+            consumer_batched._ordered_hub_fold(state, positions, contrib)
+        assert passes["n"] == 1
+        np.testing.assert_array_equal(state.hub_acc[0], expected)
+
+
 class TestSpillingCaches:
     """Undersized on-chip caches: per-call spill rounding must match."""
 

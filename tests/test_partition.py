@@ -1,0 +1,309 @@
+"""Tests for graph partitioning and partitioned islandization.
+
+Covers the partitioner's invariants (vertex-separator correctness,
+shard extraction, validation), the shard serialization paths the
+worker fleet depends on (npz round-trip, memory-mapped reads, the
+artifact store's ``shard`` kind), the ``partitions=1`` exact-equality
+oracle, and the degenerate shapes a partitioner must survive: empty
+shards, all-boundary graphs, isolated nodes, and more requested parts
+than components.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import LocatorConfig, islandize, islandize_partitioned, quality_metrics
+from repro.core.islandizer import IslandLocator
+from repro.errors import ConfigError
+from repro.graph import (
+    CSRGraph,
+    GraphBuilder,
+    GraphPartition,
+    GraphShard,
+    PartitionError,
+    hub_island_graph,
+    partition_graph,
+)
+from repro.graph.generators import CommunityProfile
+from repro.runtime import DiskStore
+from repro.serialize import config_digest
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    """A hub-island graph big enough to produce non-trivial shards."""
+    graph, _ = hub_island_graph(
+        1200,
+        CommunityProfile(island_size_mean=12.0, island_size_max=32,
+                         background_fraction=0.02),
+        seed=11,
+        name="part-medium",
+    )
+    return graph.without_self_loops()
+
+
+@pytest.fixture(scope="module")
+def mono_result(medium_graph):
+    return islandize(medium_graph, LocatorConfig())
+
+
+def shard_roundtrips(shard: GraphShard, tmp_path) -> None:
+    """Assert a shard survives npz, mmap, and store round-trips."""
+    buf = io.BytesIO()
+    shard.to_npz(buf)
+    buf.seek(0)
+    back = GraphShard.from_npz(buf)
+    assert back.part_id == shard.part_id
+    assert np.array_equal(back.global_nodes, shard.global_nodes)
+    assert np.array_equal(back.graph.indptr, shard.graph.indptr)
+    assert np.array_equal(back.graph.indices, shard.graph.indices)
+
+    store = DiskStore(tmp_path / "store")
+    key = f"shard-{shard.part_id}"
+    store.put("shard", key, shard)
+    path = store.path_for("shard", key)
+    assert path.exists()
+    mapped = GraphShard.from_npz_mmap(str(path))
+    assert np.array_equal(mapped.global_nodes, shard.global_nodes)
+    assert np.array_equal(mapped.graph.indptr, shard.graph.indptr)
+    assert np.array_equal(mapped.graph.indices, shard.graph.indices)
+    # The whole point of the mmap path: arrays are file-backed views
+    # (CSRGraph re-wraps them as base-class ndarrays, so follow the
+    # base chain to the memmap), not heap copies.
+    if len(mapped.graph.indices):
+        base = mapped.graph.indices
+        while base.base is not None and not isinstance(base, np.memmap):
+            base = base.base
+        assert isinstance(base, np.memmap)
+
+
+class TestPartitioner:
+    @pytest.mark.parametrize("strategy", ["separator", "range"])
+    def test_partition_validates(self, medium_graph, strategy):
+        part = partition_graph(medium_graph, 4, strategy=strategy)
+        part.validate(medium_graph)
+        assert part.num_parts == 4
+        owned = sum(s.num_nodes for s in part.shards) + part.num_boundary
+        assert owned == medium_graph.num_nodes
+
+    def test_separator_blocks_cross_shard_edges(self, medium_graph):
+        part = partition_graph(medium_graph, 4)
+        rows = np.repeat(
+            np.arange(medium_graph.num_nodes, dtype=np.int64),
+            medium_graph.degrees,
+        )
+        src = part.part_of[rows]
+        dst = part.part_of[medium_graph.indices]
+        assert not ((src >= 0) & (dst >= 0) & (src != dst)).any()
+
+    def test_trivial_partition_shares_arrays(self, medium_graph):
+        part = partition_graph(medium_graph, 1)
+        assert part.num_parts == 1
+        assert part.num_boundary == 0
+        assert part.shards[0].graph is medium_graph
+
+    def test_tampered_part_of_is_caught(self, medium_graph):
+        part = partition_graph(medium_graph, 4)
+        bad = part.part_of.copy()
+        # Move one interior node to another shard without re-extracting.
+        interior = np.flatnonzero(bad >= 0)
+        bad[interior[0]] = (bad[interior[0]] + 1) % 4
+        tampered = GraphPartition(
+            num_nodes=part.num_nodes,
+            boundary_nodes=part.boundary_nodes,
+            part_of=bad,
+            shards=part.shards,
+            stats=part.stats,
+        )
+        with pytest.raises(PartitionError):
+            tampered.validate(medium_graph)
+
+    def test_bad_arguments(self, medium_graph):
+        with pytest.raises(PartitionError):
+            partition_graph(medium_graph, 0)
+        with pytest.raises(PartitionError):
+            partition_graph(medium_graph, 2, strategy="metis")
+
+    def test_shards_roundtrip_all_paths(self, medium_graph, tmp_path):
+        part = partition_graph(medium_graph, 3)
+        for shard in part.shards:
+            shard_roundtrips(shard, tmp_path)
+
+
+class TestDegenerateShapes:
+    """Satellite battery: the shapes that break naive partitioners.
+
+    Every case validates the partition, round-trips each shard through
+    the mmap shard store, and checks the partitioned islandization
+    still satisfies the exact-coverage contract.
+    """
+
+    def run_case(self, graph, parts, tmp_path):
+        part = partition_graph(graph, parts)
+        part.validate(graph)
+        for shard in part.shards:
+            shard_roundtrips(shard, tmp_path)
+        config = LocatorConfig(partitions=parts)
+        result = islandize_partitioned(graph, config)
+        result.validate()
+        return part, result
+
+    def test_empty_shard(self, tmp_path):
+        # Two components, four parts: at least two shards stay empty.
+        graph = (
+            GraphBuilder(6, name="two-triangles")
+            .add_clique([0, 1, 2])
+            .add_clique([3, 4, 5])
+            .build()
+        )
+        part, result = self.run_case(graph, 4, tmp_path)
+        assert min(s.num_nodes for s in part.shards) == 0
+        # The decaying threshold reaches the triangles' degree before
+        # any island forms — monolithic behaves identically.
+        mono = islandize(graph, LocatorConfig())
+        assert result.num_islands == mono.num_islands == 0
+        assert result.num_hubs == mono.num_hubs == 6
+
+    def test_all_hubs_graph_means_only_boundary(self, tmp_path):
+        # K6: every degree ties the default threshold, so the whole
+        # graph becomes separator and every shard is empty.
+        graph = GraphBuilder(6, name="k6").add_clique(range(6)).build()
+        part, result = self.run_case(graph, 3, tmp_path)
+        assert part.num_boundary == 6
+        assert all(s.num_nodes == 0 for s in part.shards)
+        assert result.num_islands == 0
+        assert result.num_hubs == 6
+
+    def test_star_boundary_hub(self, tmp_path):
+        # The hub is boundary; the leaves are six one-node components.
+        graph = GraphBuilder(7, name="star").add_star(0, range(1, 7)).build()
+        part, result = self.run_case(graph, 2, tmp_path)
+        assert 0 in part.boundary_nodes
+        assert result.num_hubs >= 1
+
+    def test_isolated_nodes_more_parts_than_components(self, tmp_path):
+        graph = GraphBuilder(5, name="isolated").build()
+        part, result = self.run_case(graph, 9, tmp_path)
+        assert sum(s.num_nodes for s in part.shards) == 5
+        assert result.num_islands == 5  # singleton islands
+
+    def test_empty_graph(self, tmp_path):
+        graph = GraphBuilder(0, name="empty").build()
+        part, result = self.run_case(graph, 3, tmp_path)
+        assert part.num_boundary == 0
+        assert result.num_islands == 0
+        assert result.num_hubs == 0
+
+    def test_single_edge_many_parts(self, tmp_path):
+        graph = GraphBuilder(2, name="edge").add_edge(0, 1).build()
+        part, result = self.run_case(graph, 5, tmp_path)
+        mono = islandize(graph, LocatorConfig())
+        assert result.num_islands == mono.num_islands
+        assert result.num_hubs == mono.num_hubs
+
+
+class TestPartitionedEquality:
+    """The partitions=1 oracle and the quality contract above it."""
+
+    def test_single_partition_equals_monolithic(self, medium_graph,
+                                                mono_result):
+        part_result = islandize_partitioned(medium_graph, LocatorConfig())
+        assert part_result.equals(mono_result)
+        assert part_result.graph is medium_graph
+
+    def test_single_partition_through_dispatch(self, medium_graph,
+                                               mono_result):
+        # islandize() keeps partitions=1 on the monolithic in-process
+        # path; explicitly requesting the partitioned pipeline with one
+        # shard must produce the identical result.
+        assert islandize(
+            medium_graph, LocatorConfig(partitions=1)
+        ).equals(mono_result)
+
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_multi_partition_validates_and_replays(self, medium_graph,
+                                                   parts):
+        config = LocatorConfig(partitions=parts)
+        result = islandize_partitioned(graph=medium_graph, config=config,
+                                       max_workers=2)
+        result.validate()
+        # Round replay must cover every island exactly once, in
+        # non-decreasing round order (the streamed consumer's contract).
+        seen = 0
+        last_round = -1
+        for chunk in result.iter_rounds():
+            assert chunk.round_id >= last_round
+            last_round = chunk.round_id
+            seen += len(chunk.islands)
+        assert seen == result.num_islands
+
+    def test_quality_metrics_shape(self, medium_graph, mono_result):
+        part_result = islandize_partitioned(
+            medium_graph, LocatorConfig(partitions=4)
+        )
+        for metrics in (quality_metrics(mono_result),
+                        quality_metrics(part_result)):
+            assert set(metrics) == {
+                "islands", "islanded_nodes", "hubs", "hub_fraction",
+                "classified_edge_ratio",
+            }
+            assert 0.0 <= metrics["classified_edge_ratio"] <= 1.0
+        # Partitioning trades hubs for wall clock; it must never
+        # *invent* classified edges beyond the monolithic run on this
+        # graph family.
+        assert (
+            quality_metrics(part_result)["hub_fraction"]
+            >= quality_metrics(mono_result)["hub_fraction"]
+        )
+
+    def test_range_strategy_still_exact_coverage(self, medium_graph):
+        result = islandize_partitioned(
+            medium_graph,
+            LocatorConfig(partitions=3, partition_strategy="range"),
+        )
+        result.validate()
+
+    def test_scalar_backend_shards(self, medium_graph):
+        # Workers honour the configured TP-BFS backend.
+        batched = islandize_partitioned(
+            medium_graph, LocatorConfig(partitions=2)
+        )
+        scalar = islandize_partitioned(
+            medium_graph, LocatorConfig(partitions=2, backend="scalar")
+        )
+        assert scalar.equals(batched)
+
+    def test_rejects_self_loops(self):
+        with_loops = CSRGraph.from_edges(
+            3, np.array([0, 0, 1, 0]), np.array([0, 1, 2, 2])
+        )
+        from repro.errors import IslandizationError
+        with pytest.raises(IslandizationError):
+            islandize_partitioned(with_loops, LocatorConfig(partitions=2))
+
+
+class TestConfigPlumbing:
+    def test_partition_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            LocatorConfig(partitions=0)
+        with pytest.raises(ConfigError):
+            LocatorConfig(partition_strategy="metis")
+
+    def test_partition_knobs_rotate_digest(self):
+        base = config_digest(LocatorConfig())
+        assert config_digest(LocatorConfig(partitions=4)) != base
+        assert config_digest(
+            LocatorConfig(partition_strategy="range")
+        ) != base
+
+    def test_dispatch_uses_partitioned_pipeline(self, medium_graph):
+        result = islandize(medium_graph, LocatorConfig(partitions=2))
+        result.validate()
+        # Partitioned runs start with the synthetic partition round 0.
+        assert result.rounds[0].round_id == 0
+        mono = IslandLocator(LocatorConfig()).run(medium_graph)
+        assert result.num_hubs >= mono.num_hubs

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import io
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -677,3 +678,100 @@ class TestCLICacheCommands:
         capsys.readouterr()
         assert main(argv) == 0
         assert "islandizations computed 0" in capsys.readouterr().out
+
+
+class TestDiskVerify:
+    """Integrity sweep: orphan/corruption detection and repair."""
+
+    @pytest.fixture
+    def seeded(self, small_cora, islandization, tmp_path):
+        store = DiskStore(tmp_path / "store")
+        store.put("islandization", "isl-key", islandization)
+        store.put("summary", "sum-key", {"latency_us": 1.0})
+        return store
+
+    def test_clean_store(self, seeded):
+        report = seeded.verify()
+        assert report.clean
+        assert report.ok == 2
+        assert report.removed == 0
+
+    def test_classification_and_repair(self, seeded):
+        root = seeded.root
+        # Corrupt: well-named files whose codec rejects the contents.
+        bad_json = root / "summary" / ("c" * 32 + ".json")
+        bad_json.write_text("{truncated")
+        bad_npz = root / "islandization" / ("d" * 32 + ".npz")
+        bad_npz.write_bytes(b"PK\x03\x04 not a real archive")
+        # Orphaned: tmp debris, non-digest names, unknown dirs, strays.
+        (root / "islandization" / ".tmp-died").write_bytes(b"x")
+        (root / "islandization" / "notadigest.npz").write_bytes(b"x")
+        (root / "summary" / ("e" * 32 + ".npz")).write_bytes(b"x")
+        (root / "unknown-kind").mkdir()
+        (root / "unknown-kind" / "file.bin").write_bytes(b"x")
+        (root / "stray.txt").write_text("x")
+
+        report = seeded.verify()
+        assert not report.clean
+        assert report.ok == 2
+        assert sorted(Path(p).name for p in report.corrupt) == [
+            "c" * 32 + ".json", "d" * 32 + ".npz",
+        ]
+        assert len(report.orphaned) == 5
+        assert report.removed == 0  # report-only by default
+
+        repaired = seeded.verify(repair=True)
+        assert repaired.removed == 7
+        after = seeded.verify()
+        assert after.clean
+        assert after.ok == 2  # intact artifacts untouched
+        assert seeded.get("summary", "sum-key") == {"latency_us": 1.0}
+
+    def test_missing_root_is_clean(self, tmp_path):
+        report = DiskStore(tmp_path / "never-created").verify()
+        assert report.clean
+        assert report.ok == 0
+
+    def test_shard_codec_and_path_for(self, small_cora, tmp_path):
+        from repro.graph import GraphShard
+        from repro.graph.partition import partition_graph
+
+        graph = small_cora.graph.without_self_loops()
+        part = partition_graph(graph, 2)
+        store = DiskStore(tmp_path / "store")
+        for shard in part.shards:
+            store.put("shard", f"s{shard.part_id}", shard)
+            path = store.path_for("shard", f"s{shard.part_id}")
+            assert path.exists()
+            mapped = GraphShard.from_npz_mmap(str(path))
+            assert np.array_equal(mapped.global_nodes, shard.global_nodes)
+        assert store.verify().ok == len(part.shards)
+
+    def test_path_for_unknown_kind(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DiskStore(tmp_path).path_for("nonsense", "key")
+
+    def test_cache_verify_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = DiskStore(tmp_path / "store")
+        store.put("summary", "k", {"a": 1})
+        argv = ["cache", "verify", "--cache-dir", str(store.root)]
+        assert main(argv) == 0
+        assert "1 artifacts intact" in capsys.readouterr().out
+
+        (store.root / "stray.bin").write_bytes(b"x")
+        assert main(argv) == 1
+        assert "1 orphaned" in capsys.readouterr().out
+        assert main(argv + ["--repair"]) == 0
+        assert "removed 1 files" in capsys.readouterr().out
+        assert main(argv) == 0
+
+    def test_repair_flag_needs_verify(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--repair",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "only applies to cache verify" in capsys.readouterr().err
