@@ -57,6 +57,7 @@ from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
 from repro.eval.bench_consumer import run_consumer_bench
+from repro.eval.bench_incremental import DELTA_TIERS, run_incremental_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
 from repro.eval.bench_partition import PARTITION_TIERS, run_partition_bench
 from repro.eval.bench_pipeline import run_pipeline_bench
@@ -177,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
     isl.add_argument("--cmax", type=int, default=64)
     isl.add_argument("--th0", type=int, default=None)
     isl.add_argument("--decay", type=float, default=0.5)
+    isl.add_argument("--delta", metavar="FILE", default=None,
+                     help="apply a GraphDelta archive (.npz) to the "
+                          "dataset and maintain the islandization "
+                          "incrementally instead of re-running it; "
+                          "prints the updated round table plus the "
+                          "dirty-region telemetry")
     add_locator_backend_arg(isl)
 
     cmp_ = sub.add_parser("compare", help="cross-platform comparison")
@@ -215,23 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("suite",
                        choices=["locator", "consumer", "pipeline",
-                                "partition"],
+                                "partition", "incremental"],
                        help="benchmark suite to run: locator/consumer time "
                             "scalar vs batched backends, pipeline times "
                             "staged vs streamed execution and records the "
                             "modelled overlap win, partition times "
                             "monolithic vs sharded islandization in fresh "
                             "processes and records peak RSS plus the "
-                            "quality delta")
+                            "quality delta, incremental times delta-driven "
+                            "island maintenance vs from-scratch rebuilds "
+                            "across a ladder of delta sizes")
     tier_choices = list(BENCH_TIERS) + [
         t for t in PARTITION_TIERS if t not in BENCH_TIERS
-    ]
+    ] + [t for t in DELTA_TIERS if t not in BENCH_TIERS]
     bench.add_argument("--tiers", nargs="+", choices=tier_choices,
                        default=None,
                        help="graph-scale tiers by undirected edge count "
                             "(default: every tier of the chosen suite; "
                             "locator/consumer/pipeline ladder ends at 2e6, "
-                            "the partition ladder is 2e5/2e6/2e7)")
+                            "the partition ladder is 2e5/2e6/2e7; the "
+                            "incremental suite's tiers are *delta sizes* "
+                            "1e1/1e3/1e5 on one ~2e6-entry graph)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="best-of repeats for the batched backend")
     bench.add_argument("--seed", type=int, default=7)
@@ -248,9 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["separator", "range"], default="separator",
                        help="partition suite: graph-splitting strategy")
     bench.add_argument("--max-edges", type=int, default=None,
-                       help="partition suite: cap every tier's target edge "
-                            "count so the big tiers smoke-run small (CI "
-                            "uses this; the cap is recorded in the JSON)")
+                       help="partition/incremental suites: cap the target "
+                            "edge count so the big tiers smoke-run small "
+                            "(CI uses this; the cap is recorded in the "
+                            "JSON — the incremental suite caps its big "
+                            "deltas to match)")
+    bench.add_argument("--delta-seed", type=int, default=11,
+                       help="incremental suite: RNG seed of the churn "
+                            "deltas (each tier draws from a fresh "
+                            "generator at this seed)")
     bench.add_argument("--graph-dir", metavar="DIR", default=None,
                        help="partition suite: cache generated benchmark "
                             "graphs under DIR (default: a shared temp "
@@ -283,14 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect, clear, or size-evict the artifact store"
     )
     cache.add_argument("action", choices=["stats", "clear", "evict",
-                                          "verify"],
+                                          "verify", "gc"],
                        help="stats: per-kind entry counts and bytes; "
                             "clear: delete every persisted artifact; "
                             "evict: drop least-recently-written artifacts "
                             "until the store fits --max-size; "
                             "verify: sweep the store for orphaned or "
                             "corrupt files and report them (--repair "
-                            "deletes them)")
+                            "deletes them); "
+                            "gc: remove unreachable files — tmp debris, "
+                            "foreign files, and artifacts stranded by a "
+                            "key-space version bump (--dry-run reports "
+                            "without deleting)")
     cache.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="store location (default: $REPRO_CACHE_DIR, "
                             "else ~/.cache/repro)")
@@ -300,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--repair", action="store_true",
                        help="verify: delete every orphaned or corrupt "
                             "file found (default: report only)")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="gc: report what would be removed without "
+                            "deleting anything")
 
     docs = sub.add_parser(
         "docs", help="regenerate generated documentation"
@@ -409,8 +433,19 @@ def _cmd_run(args) -> int:
 def _cmd_islandize(args) -> int:
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     config = LocatorConfig(c_max=args.cmax, th0=args.th0, decay=args.decay,
+                           incremental=args.delta is not None,
                            **_locator_kwargs(args))
-    result = IGCNAccelerator(locator=config).islandize(ds.graph)
+    update = None
+    if args.delta is not None:
+        from repro.graph.csr import GraphDelta
+        from repro.runtime import Engine
+
+        delta = GraphDelta.from_npz(args.delta)
+        engine = Engine(locator=config)
+        update = engine.update(ds.graph, delta)
+        result = update.result
+    else:
+        result = IGCNAccelerator(locator=config).islandize(ds.graph)
     result.validate()
     rows = [
         {
@@ -424,11 +459,18 @@ def _cmd_islandize(args) -> int:
         }
         for r in result.rounds
     ]
-    print(render_table(rows, title=f"islandization of {ds.name}"))
+    title = (f"islandization of {ds.name} (after {args.delta})"
+             if update is not None else f"islandization of {ds.name}")
+    print(render_table(rows, title=title))
     print(f"\ntotal: {result.num_islands} islands, {result.num_hubs} hubs "
           f"({result.hub_fraction:.1%}), "
           f"{len(result.interhub_edges)} inter-hub edges; "
           f"edge coverage validated")
+    if update is not None:
+        how = (f"full rebuild ({update.fallback_reason})" if update.fallback
+               else "incremental splice")
+        print(f"delta: {how}; dirty {update.dirty_nodes} nodes, "
+              f"region {update.region_nodes} nodes")
     return 0
 
 
@@ -507,6 +549,22 @@ def _cmd_cache(args) -> int:
     store = DiskStore(args.cache_dir or default_cache_dir())
     if args.repair and args.action != "verify":
         raise ReproError("--repair only applies to cache verify")
+    if args.dry_run and args.action != "gc":
+        raise ReproError("--dry-run only applies to cache gc")
+    if args.action == "gc":
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        adopted = "" if report.indexed else (
+            " (no reachability index: conservative sweep"
+            + (", survivors adopted)" if not args.dry_run else ")")
+        )
+        print(f"artifact store at {report.root}: "
+              f"{report.live} reachable artifacts{adopted}")
+        for path in report.removed:
+            print(f"  {verb}: {path}")
+        print(f"{verb} {len(report.removed)} files "
+              f"({report.freed / 1e6:.3f} MB)")
+        return 0
     if args.action == "verify":
         report = store.verify(repair=args.repair)
         print(f"artifact store at {report.root}: "
@@ -558,14 +616,24 @@ def _cmd_bench(args) -> int:
         # Silently ignoring partition-only knobs would mislead.
         for flag, default in (("partitions", 4), ("workers", None),
                               ("partition_strategy", "separator"),
-                              ("max_edges", None), ("graph_dir", None)):
+                              ("graph_dir", None)):
             if getattr(args, flag) != default:
                 raise SimulationError(
                     f"--{flag.replace('_', '-')} only applies to the "
                     f"partition suite"
                 )
+        if args.suite != "incremental" and args.max_edges is not None:
+            raise SimulationError(
+                "--max-edges only applies to the partition and "
+                "incremental suites"
+            )
+    if args.suite != "incremental" and args.delta_seed != 11:
+        raise SimulationError(
+            "--delta-seed only applies to the incremental suite"
+        )
     tiers = args.tiers or (
         list(PARTITION_TIERS) if args.suite == "partition"
+        else list(DELTA_TIERS) if args.suite == "incremental"
         else list(BENCH_TIERS)
     )
     if args.suite == "partition":
@@ -579,6 +647,21 @@ def _cmd_bench(args) -> int:
             strategy=args.partition_strategy,
             max_edges=args.max_edges,
             graph_dir=args.graph_dir,
+            verify=not args.no_verify,
+        )
+    elif args.suite == "incremental":
+        if args.preagg_k != _DEFAULT_PREAGG_K:
+            raise SimulationError(
+                "--preagg-k configures the consumer scan and only applies "
+                "to the consumer and pipeline suites"
+            )
+        record = run_incremental_bench(
+            tiers=tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            delta_seed=args.delta_seed,
+            c_max=args.cmax,
+            max_edges=args.max_edges,
             verify=not args.no_verify,
         )
     elif args.suite == "locator":
@@ -635,6 +718,27 @@ def _cmd_bench(args) -> int:
             f"shards x {record['config']['workers']} workers "
             f"(best-of wall clock, fresh processes)"
         )
+    elif args.suite == "incremental":
+        rows = [
+            {
+                "delta": row["tier"],
+                "edits": row["delta_edges"],
+                "incr_s": row["incr_s"],
+                "record_s": row["record_s"],
+                "islandize_s": row["islandize_s"],
+                "vs_record": row["speedup_vs_record"],
+                "vs_scratch": row["speedup_vs_islandize"],
+                "dirty": row["dirty_nodes"],
+                "fallback": str(row["fallback"]),
+                "equal": "-" if row["equal"] is None else str(row["equal"]),
+            }
+            for row in record["tiers"]
+        ]
+        title = (
+            f"incremental maintenance vs rebuild on a "
+            f"{record['graph']['edges']}-entry graph "
+            f"(best-of wall clock)"
+        )
     elif args.suite == "pipeline":
         rows = [
             {
@@ -685,14 +789,26 @@ def _cmd_bench(args) -> int:
         what = (
             "the partitions=1 oracle and the monolithic locator"
             if args.suite == "partition"
+            else "the incremental update and the from-scratch locator"
+            if args.suite == "incremental"
             else "pipeline modes" if args.suite == "pipeline"
             else "backends"
         )
         print(f"error: {what} diverged — see rows above and "
               f"{output}", file=sys.stderr)
         return 1
-    print(f"\nwrote {output}: largest tier {record['largest_tier']} "
-          f"speedup {record['largest_speedup']}x")
+    if args.suite == "incremental":
+        if record["headline_tier"] is None:
+            print(f"\nwrote {output}: no delta tier beats the recording "
+                  f"rebuild")
+        else:
+            cross = record["crossover_delta"] or "beyond the ladder"
+            print(f"\nwrote {output}: {record['headline_tier']}-edit delta "
+                  f"speedup {record['headline_speedup']}x vs recording "
+                  f"rebuild (crossover at {cross})")
+    else:
+        print(f"\nwrote {output}: largest tier {record['largest_tier']} "
+              f"speedup {record['largest_speedup']}x")
     return 0
 
 

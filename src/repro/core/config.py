@@ -69,6 +69,15 @@ class LocatorConfig:
         balanced by edge count and promotes the endpoints of every
         cross-range edge — the naive baseline the separator strategy is
         measured against.
+    incremental:
+        Record the extra per-round bookkeeping
+        (``repro.core.islandizer_incremental.IncrementalState``) that
+        lets a cached result be *updated* under an edge delta instead
+        of re-islandized from scratch.  The result itself is identical
+        with or without recording; the flag is still part of the config
+        digest so stores pair every islandization with its state
+        artifact unambiguously.  Incompatible with ``partitions > 1``
+        (delta maintenance is defined against the monolithic locator).
     """
 
     p1: int = 64
@@ -81,6 +90,7 @@ class LocatorConfig:
     backend: str = "batched"
     partitions: int = 1
     partition_strategy: str = "separator"
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.p1 < 1 or self.p2 < 1:
@@ -105,6 +115,12 @@ class LocatorConfig:
             raise ConfigError(
                 f"partition_strategy must be 'separator' or 'range' "
                 f"(got {self.partition_strategy!r})"
+            )
+        if not isinstance(self.incremental, bool):
+            raise ConfigError("incremental must be a bool")
+        if self.incremental and self.partitions > 1:
+            raise ConfigError(
+                "incremental islandization requires partitions == 1"
             )
 
     def initial_threshold(self, degrees: np.ndarray) -> int:

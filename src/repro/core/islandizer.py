@@ -39,7 +39,7 @@ import numpy as np
 from repro.core.config import LocatorConfig
 from repro.core.hub_detector import detect_new_hubs
 from repro.core.tp_bfs import BFSRoundState, TaskOutcome, run_bfs_task
-from repro.core.tp_bfs_batched import execute_round_batched
+from repro.core.tp_bfs_batched import TASK_OUTCOME_CODES, execute_round_batched
 from repro.core.types import (
     Island,
     IslandizationResult,
@@ -136,7 +136,10 @@ class IslandLocator:
                 on_round(chunk)
 
     def stream(
-        self, graph: CSRGraph
+        self,
+        graph: CSRGraph,
+        *,
+        tap: Callable[..., None] | None = None,
     ) -> Generator[RoundOutput, None, IslandizationResult]:
         """Islandize ``graph``, yielding one chunk per locator round.
 
@@ -150,6 +153,16 @@ class IslandLocator:
         (``StopIteration.value``), so ``run()`` is a plain drain of
         this stream and both entry points produce byte-identical
         results for either Th3 backend.
+
+        ``tap`` (optional) receives ``(round_id, task_hubs, task_seeds,
+        task_scans, task_fetches, task_bytes, task_outcomes)`` once per
+        round, before the round's chunk is yielded — the raw Th2 queue
+        plus each task's TP-BFS scan count, adjacency fetches/bytes
+        and outcome code (``tp_bfs_batched.TASK_*``) in task order.
+        Incremental islandization records these to replay the greedy
+        engine dispatch and to subtract a dirty region's contribution
+        from the cached counters under deltas; the run itself is
+        unaffected by the callback.
 
         ``graph`` must not contain self-loops: they carry no structural
         information for clustering and are handled by the consumer's
@@ -208,10 +221,8 @@ class IslandLocator:
             hub_ids.extend(new_hubs.tolist())
             hub_rounds.extend([round_id] * len(new_hubs))
             isolated = detection.isolated
-            next_id = len(islands)
             islands.extend(
                 Island.from_trusted_arrays(
-                    island_id=next_id + i,
                     round_id=round_id,
                     members=isolated[i:i + 1],
                     hubs=_NO_HUBS,
@@ -245,15 +256,13 @@ class IslandLocator:
                     graph, csr_rows, is_hub, classified, config.c_max,
                     task_hubs, task_seeds, interhub_keys, csr_lists,
                 )
-                next_id = len(islands)
                 islands.extend(
                     Island.from_trusted_arrays(
-                        island_id=next_id + i,
                         round_id=round_id,
                         members=members,
                         hubs=hubs,
                     )
-                    for i, (members, hubs) in enumerate(outcome.islands)
+                    for members, hubs in outcome.islands
                 )
                 if outcome.islands:
                     new_members = np.concatenate(
@@ -286,12 +295,30 @@ class IslandLocator:
                 tally.scans = outcome.scans
                 tally.fetches = outcome.fetches
                 tally.bytes = outcome.adjacency_bytes
+                if tap is not None:
+                    tap(
+                        round_id, task_hubs, task_seeds, outcome.task_scans,
+                        outcome.task_fetches, outcome.task_bytes,
+                        outcome.task_outcomes,
+                    )
             else:
+                tap_arrays = (
+                    (
+                        np.zeros(total_tasks, dtype=np.int64),
+                        np.zeros(total_tasks, dtype=np.int64),
+                        np.zeros(total_tasks, dtype=np.int64),
+                        np.zeros(total_tasks, dtype=np.int8),
+                    )
+                    if tap is not None
+                    else None
+                )
                 num_classified += self._run_round_scalar(
                     graph, degrees, threshold, round_id, visited_round,
                     task_hubs, task_seeds, islands, classified, interhub,
-                    dispatch, tally,
+                    dispatch, tally, tap_arrays,
                 )
+                if tap is not None:
+                    tap(round_id, task_hubs, task_seeds, *tap_arrays)
 
             rounds.append(
                 RoundStats(
@@ -370,25 +397,36 @@ class IslandLocator:
         interhub: set[tuple[int, int]],
         dispatch: _GreedyEngineDispatch,
         tally: _Round,
+        tap_arrays: tuple[np.ndarray, ...] | None = None,
     ) -> int:
         """One round of Th3 through the per-edge oracle loop.
 
         Returns the number of nodes newly classified (islanded).
+        ``tap_arrays`` (optional, pre-zeroed ``(scans, fetches, bytes,
+        outcomes)``) collects each task's counters by task index for
+        the stream's ``tap`` callback.
         """
         config = self.config
         state = BFSRoundState.create(
             graph, degrees, threshold, config.c_max, round_id, visited_round
         )
         newly_classified = 0
-        for hub, a0 in zip(task_hubs.tolist(), task_seeds.tolist()):
+        for pos, (hub, a0) in enumerate(
+            zip(task_hubs.tolist(), task_seeds.tolist())
+        ):
+            bytes_before = state.adjacency_bytes
             result = run_bfs_task(state, hub, a0)
             if result.scans:
                 dispatch.add(result.scans)
+            if tap_arrays is not None:
+                tap_arrays[0][pos] = result.scans
+                tap_arrays[1][pos] = result.fetches
+                tap_arrays[2][pos] = state.adjacency_bytes - bytes_before
+                tap_arrays[3][pos] = TASK_OUTCOME_CODES[result.outcome]
             if result.outcome is TaskOutcome.ISLAND:
                 members = np.asarray(result.members, dtype=np.int64)
                 islands.append(
                     Island.from_trusted_arrays(
-                        island_id=len(islands),
                         round_id=round_id,
                         members=members,
                         hubs=np.asarray(result.hubs, dtype=np.int64),

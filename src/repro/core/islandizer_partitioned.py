@@ -325,7 +325,6 @@ def _merge(
         if hi > lo:
             hubs = np.concatenate([hubs, attach_hub[lo:hi]])
         islands.append(Island.from_trusted_arrays(
-            island_id=new_id,
             round_id=int(round_of_isl[new_id]),
             members=f["members"][
                 f["m_offsets"][j]:f["m_offsets"][j + 1]

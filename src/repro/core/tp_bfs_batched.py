@@ -80,6 +80,11 @@ __all__ = [
     "STATE_VISITED",
     "STATE_OWN",
     "STATE_OWN_HUB",
+    "TASK_ISLAND",
+    "TASK_SEED_HUB",
+    "TASK_VISITED",
+    "TASK_CMAX",
+    "TASK_OUTCOME_CODES",
     "BatchedRoundOutcome",
     "run_task_levelwise",
     "execute_round_batched",
@@ -90,6 +95,20 @@ STATE_HUB = np.int8(1)
 STATE_VISITED = np.int8(2)
 STATE_OWN = np.int8(3)
 STATE_OWN_HUB = np.int8(4)
+
+#: Per-task outcome codes of ``BatchedRoundOutcome.task_outcomes``
+#: (compact int8 encoding of :class:`~repro.core.tp_bfs.TaskOutcome`).
+TASK_ISLAND = np.int8(0)
+TASK_SEED_HUB = np.int8(1)
+TASK_VISITED = np.int8(2)
+TASK_CMAX = np.int8(3)
+
+TASK_OUTCOME_CODES: dict[TaskOutcome, np.int8] = {
+    TaskOutcome.ISLAND: TASK_ISLAND,
+    TaskOutcome.SEED_IS_HUB: TASK_SEED_HUB,
+    TaskOutcome.ALREADY_VISITED: TASK_VISITED,
+    TaskOutcome.CMAX_EXCEEDED: TASK_CMAX,
+}
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
@@ -104,9 +123,13 @@ class BatchedRoundOutcome:
     """Everything one batched Th3 round hands back to the locator.
 
     ``islands`` are (members, hubs) pairs in the scalar path's append
-    order (winning-task order); ``task_scans`` holds each task's scan
-    count *in task order* so the engine-dispatch replay matches the
-    scalar greedy assignment exactly.
+    order (winning-task order); ``task_scans``, ``task_fetches``,
+    ``task_bytes`` and ``task_outcomes`` hold each task's scan count,
+    adjacency fetches/bytes and outcome code *in task order* — the
+    scans drive the engine-dispatch replay, and the full per-task
+    attribution is what lets incremental islandization subtract a
+    dirty region's contribution from cached counters without
+    re-running the old graph.
     """
 
     islands: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
@@ -118,6 +141,11 @@ class BatchedRoundOutcome:
     fetches: int = 0
     adjacency_bytes: int = 0
     task_scans: np.ndarray = field(default_factory=lambda: _EMPTY)
+    task_fetches: np.ndarray = field(default_factory=lambda: _EMPTY)
+    task_bytes: np.ndarray = field(default_factory=lambda: _EMPTY)
+    task_outcomes: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int8)
+    )
 
     @property
     def islands_found(self) -> int:
@@ -503,11 +531,18 @@ def execute_round_batched(
     if num_tasks == 0:
         return out
     task_scans = np.zeros(num_tasks, dtype=np.int64)
+    task_fetches = np.zeros(num_tasks, dtype=np.int64)
+    task_bytes = np.zeros(num_tasks, dtype=np.int64)
+    # Default VISITED: the only zero-work outcome a BFS task can have
+    # (losers of a component race and instant deaths); every other
+    # path overwrites its own entries.
+    task_outcomes = np.full(num_tasks, TASK_VISITED, dtype=np.int8)
 
     # --- seed-is-hub tasks: bulk inter-hub edge collection ------------
     seed_hub_mask = is_hub[task_seeds]
     out.dropped_classified = int(seed_hub_mask.sum())
     if out.dropped_classified:
+        task_outcomes[seed_hub_mask] = TASK_SEED_HUB
         hu = task_hubs[seed_hub_mask]
         hv = task_seeds[seed_hub_mask]
         keys = np.minimum(hu, hv) * np.int64(n) + np.maximum(hu, hv)
@@ -528,6 +563,9 @@ def execute_round_batched(
     bfs_idx = np.flatnonzero(~seed_hub_mask)
     if len(bfs_idx) == 0:
         out.task_scans = task_scans
+        out.task_fetches = task_fetches
+        out.task_bytes = task_bytes
+        out.task_outcomes = task_outcomes
         return out
     bfs_seeds = task_seeds[bfs_idx]
 
@@ -561,6 +599,9 @@ def execute_round_batched(
         )
         out.islands.extend(islands)
         task_scans[win_idx] = scans
+        task_fetches[win_idx] = fetches
+        task_bytes[win_idx] = nbytes
+        task_outcomes[win_idx] = TASK_ISLAND
         out.scans += int(scans.sum())
         out.fetches += int(fetches.sum())
         out.adjacency_bytes += int(nbytes.sum())
@@ -606,6 +647,9 @@ def execute_round_batched(
                     )
                 )
             task_scans[pos] = scans
+            task_fetches[pos] = fetches
+            task_bytes[pos] = nbytes
+            task_outcomes[pos] = TASK_OUTCOME_CODES[outcome]
             out.scans += scans
             out.fetches += fetches
             out.adjacency_bytes += nbytes
@@ -619,4 +663,7 @@ def execute_round_batched(
                 out.dropped_cmax += 1
 
     out.task_scans = task_scans
+    out.task_fetches = task_fetches
+    out.task_bytes = task_bytes
+    out.task_outcomes = task_outcomes
     return out

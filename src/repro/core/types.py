@@ -35,7 +35,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Island:
     """One located island.
 
@@ -43,9 +43,20 @@ class Island:
     Consumer uses as the local column layout (so pre-aggregation groups
     are formed over discovery-adjacent nodes).  ``hubs`` are the hub
     nodes attached to this island (the L-shape), in first-contact order.
+
+    An island's *id* is its position in ``IslandizationResult.islands``
+    — it is not stored on the object.  Storing it would be redundant
+    (the locator always assigns ids as a running list position) and
+    would force delta maintenance to rebuild every clean island whose
+    position shifts; with positional ids, unchanged islands are reused
+    by reference across incremental updates.
+
+    ``slots=True`` matters too: locator and maintenance paths construct
+    one ``Island`` per located island (millions at the large benchmark
+    tiers), and slotted instances skip the per-object ``__dict__``
+    allocation that otherwise dominates bulk construction.
     """
 
-    island_id: int
     round_id: int
     members: np.ndarray
     hubs: np.ndarray
@@ -63,7 +74,6 @@ class Island:
     @classmethod
     def from_trusted_arrays(
         cls,
-        island_id: int,
         round_id: int,
         members: np.ndarray,
         hubs: np.ndarray,
@@ -77,7 +87,6 @@ class Island:
         the regular constructor.
         """
         island = object.__new__(cls)
-        object.__setattr__(island, "island_id", island_id)
         object.__setattr__(island, "round_id", round_id)
         object.__setattr__(island, "members", members)
         object.__setattr__(island, "hubs", hubs)
@@ -102,19 +111,23 @@ class Island:
         return np.concatenate([self.hubs, self.members])
 
     def to_npz(self, file: str | IO[bytes]) -> None:
-        """Serialize one island (ids as metadata, arrays verbatim)."""
+        """Serialize one island (round as metadata, arrays verbatim)."""
         write_npz(
             file,
             {"members": self.members, "hubs": self.hubs},
-            {"format": 1, "island_id": int(self.island_id), "round_id": int(self.round_id)},
+            {"format": 2, "round_id": int(self.round_id)},
         )
 
     @classmethod
     def from_npz(cls, file: str | IO[bytes]) -> "Island":
-        """Restore an island written by :meth:`to_npz`."""
+        """Restore an island written by :meth:`to_npz`.
+
+        Accepts both the current archive layout and format-1 archives,
+        which carried the (positional, hence redundant) island id as
+        extra metadata.
+        """
         arrays, meta = read_npz(file)
         return cls(
-            island_id=int(meta["island_id"]),
             round_id=int(meta["round_id"]),
             members=arrays["members"],
             hubs=arrays["hubs"],
@@ -274,8 +287,8 @@ class IslandizationResult:
         """Per-node label: island id, or -1 for hubs (cached)."""
         if self._membership is None:
             labels = -np.ones(self.graph.num_nodes, dtype=np.int64)
-            for island in self.islands:
-                labels[island.members] = island.island_id
+            for island_id, island in enumerate(self.islands):
+                labels[island.members] = island_id
             self._membership = labels
         return self._membership
 
@@ -328,7 +341,7 @@ class IslandizationResult:
                 stats=stats,
                 islands=chunk,
                 new_hub_ids=self.hub_ids[self.hub_round == stats.round_id],
-                first_island_id=chunk[0].island_id if chunk else start,
+                first_island_id=start,
             )
             start = end
 
@@ -358,9 +371,6 @@ class IslandizationResult:
             "hub_ids": self.hub_ids,
             "hub_round": self.hub_round,
             "interhub_edges": self.interhub_edges,
-            "island_ids": np.asarray(
-                [isl.island_id for isl in self.islands], dtype=np.int64
-            ),
             "island_rounds": np.asarray(
                 [isl.round_id for isl in self.islands], dtype=np.int64
             ),
@@ -382,7 +392,7 @@ class IslandizationResult:
             "work_per_engine_scans": self.work.per_engine_scans,
         }
         meta = {
-            "format": 1,
+            "format": 2,
             "graph_name": self.graph.name,
             "round_fields": list(ROUND_FIELDS),
             "work_totals": self.work._totals(),
@@ -422,14 +432,11 @@ class IslandizationResult:
             raise IslandizationError("a node cannot be both member and hub")
         islands = [
             Island.from_trusted_arrays(
-                island_id=int(island_id),
                 round_id=int(round_id),
                 members=members_flat[m_off[i]:m_off[i + 1]],
                 hubs=hubs_flat[h_off[i]:h_off[i + 1]],
             )
-            for i, (island_id, round_id) in enumerate(
-                zip(arrays["island_ids"], arrays["island_rounds"])
-            )
+            for i, round_id in enumerate(arrays["island_rounds"])
         ]
         fields = [str(name) for name in meta["round_fields"]]
         rounds = [
@@ -468,7 +475,7 @@ class IslandizationResult:
             )
         hub_mask = self.is_hub()
         labels = self.membership()
-        for island in self.islands:
+        for island_id, island in enumerate(self.islands):
             for member in island.members:
                 for neigh in self.graph.neighbors(int(member)):
                     neigh = int(neigh)
@@ -476,9 +483,9 @@ class IslandizationResult:
                         continue
                     if hub_mask[neigh]:
                         continue
-                    if labels[neigh] != island.island_id:
+                    if labels[neigh] != island_id:
                         raise IslandizationError(
-                            f"island {island.island_id}: member {member} has "
+                            f"island {island_id}: member {member} has "
                             f"non-hub external neighbour {neigh}"
                         )
         self._validate_edge_coverage()
@@ -486,16 +493,17 @@ class IslandizationResult:
     def equals(self, other: "IslandizationResult") -> bool:
         """Exact structural equality with another result.
 
-        True iff every island (ids, rounds, member order, hub order),
-        the hub list and rounds-of-discovery, the inter-hub edge map,
-        all per-round statistics, and all work counters (including the
-        per-engine distribution) match.  This is the contract the
-        batched locator backend is held to against the scalar oracle.
+        True iff every island (position, round, member order, hub
+        order), the hub list and rounds-of-discovery, the inter-hub
+        edge map, all per-round statistics, and all work counters
+        (including the per-engine distribution) match.  This is the
+        contract the batched locator backend is held to against the
+        scalar oracle.
         """
         if len(self.islands) != len(other.islands):
             return False
         for a, b in zip(self.islands, other.islands):
-            if a.island_id != b.island_id or a.round_id != b.round_id:
+            if a.round_id != b.round_id:
                 return False
             if not np.array_equal(a.members, b.members):
                 return False

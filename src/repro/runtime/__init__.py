@@ -41,8 +41,10 @@ from repro.runtime.store import (
     MISS,
     ArtifactStore,
     DiskStore,
+    GCReport,
     MemoryStore,
     TieredStore,
+    VerifyReport,
     build_store,
     default_cache_dir,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "MemoryStore",
     "DiskStore",
     "TieredStore",
+    "VerifyReport",
+    "GCReport",
     "build_store",
     "default_cache_dir",
 ]

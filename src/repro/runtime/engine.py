@@ -37,9 +37,15 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.islandizer import islandize
+from repro.core.islandizer_incremental import (
+    IncrementalState,
+    IncrementalUpdate,
+    record_islandization,
+    update_islandization,
+)
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError, SimulationError
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, GraphDelta
 from repro.graph.datasets import DATASETS, Dataset, canonical_name, load_dataset
 from repro.models.configs import ModelConfig, build_model
 from repro.models.workload import Workload, build_workload
@@ -246,14 +252,101 @@ class Engine:
         is the clean graph's fingerprint + the locator config digest,
         so engines with different configs sharing one disk tier never
         collide.
+
+        A config with ``incremental=True`` routes through
+        :meth:`islandization_state`, so the result's updatable
+        bookkeeping is recorded (and cached) alongside it.
         """
         config = config or self.locator_config
+        if config.incremental:
+            return self.islandization_state(graph, config)[0]
         clean = self.clean_graph(graph)
         key = f"{graph_fingerprint(clean)}|loc={config_digest(config)}"
         return self._memo(
             "islandization", key,
             lambda: islandize(clean, config, store=self.store),
         )
+
+    def islandization_state(
+        self, graph: CSRGraph, config: LocatorConfig | None = None
+    ) -> tuple[IslandizationResult, IncrementalState]:
+        """Cached (result, incremental state) pair for (graph, config).
+
+        The pair is produced by one
+        :func:`~repro.core.islandizer_incremental.record_islandization`
+        run and stored under the *same* key in two kinds
+        ("islandization" and "ilstate"), so a disk tier always serves
+        matching halves.  A half-present pair (one kind evicted) is
+        re-recorded whole — the result side of a recording run is
+        identical to a plain islandization, so nothing downstream can
+        observe the recompute.
+
+        Requires a config with ``incremental=True`` (the flag is part
+        of the config digest, keeping these entries distinct from
+        plain islandizations of the same graph).
+        """
+        config = config or self.locator_config
+        if not config.incremental:
+            raise ConfigError(
+                "islandization_state needs a LocatorConfig with "
+                "incremental=True (the recording flag is part of the "
+                "cache key)"
+            )
+        clean = self.clean_graph(graph)
+        key = f"{graph_fingerprint(clean)}|loc={config_digest(config)}"
+        result = self.store.get("islandization", key)
+        state = self.store.get("ilstate", key)
+        if result is not MISS and state is not MISS:
+            self._stats["islandization"].hits += 1
+            self._stats["ilstate"].hits += 1
+            return result, state
+        self._stats["islandization"].misses += 1
+        self._stats["ilstate"].misses += 1
+        result, state = record_islandization(clean, config)
+        self.store.put("islandization", key, result)
+        self.store.put("ilstate", key, state)
+        return result, state
+
+    def update(
+        self,
+        graph: CSRGraph,
+        delta: GraphDelta,
+        config: LocatorConfig | None = None,
+        *,
+        max_dirty_fraction: float = 0.5,
+    ) -> IncrementalUpdate:
+        """Maintain a cached islandization under an edge delta.
+
+        Fetches (or records) the (result, state) pair for ``graph``,
+        applies ``delta`` via
+        :func:`~repro.core.islandizer_incremental.update_islandization`,
+        and stores the updated pair under the *mutated* graph's
+        fingerprint — so updates chain: ``engine.update(upd.result.graph,
+        next_delta)`` starts from a warm cache, never re-islandizing.
+        The mutated clean graph is cached under its own fingerprint
+        too, keeping :meth:`clean_graph`/:meth:`islandization` lookups
+        on it O(1).
+
+        ``delta`` is applied to the cached *clean* copy of ``graph``
+        (islandization is defined on self-loop-free graphs).  Returns
+        the full :class:`~repro.core.islandizer_incremental.IncrementalUpdate`
+        (result, refreshed state, dirty-region telemetry, and whether
+        the update fell back to a recording rebuild).
+        """
+        config = config or self.locator_config
+        cached, state = self.islandization_state(graph, config)
+        clean = self.clean_graph(graph)
+        applied = clean.apply_delta(delta, with_changes=True)
+        upd = update_islandization(
+            clean, cached, state, delta, config,
+            max_dirty_fraction=max_dirty_fraction, applied=applied,
+        )
+        new_graph = upd.result.graph
+        new_key = f"{graph_fingerprint(new_graph)}|loc={config_digest(config)}"
+        self.store.put("clean_graph", graph_fingerprint(new_graph), new_graph)
+        self.store.put("islandization", new_key, upd.result)
+        self.store.put("ilstate", new_key, upd.state)
+        return upd
 
     def workload(
         self, graph: CSRGraph, model: ModelConfig, *, feature_density: float = 1.0

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, IO
 
+from repro.core.islandizer_incremental import IncrementalState
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
@@ -54,6 +55,7 @@ __all__ = [
     "DiskStore",
     "TieredStore",
     "VerifyReport",
+    "GCReport",
     "default_cache_dir",
     "build_store",
 ]
@@ -65,10 +67,13 @@ MISS = object()
 #: order.  "report" holds live report objects (memory tiers only);
 #: "summary" holds their JSON-able shared-schema rows (disk-cacheable);
 #: "shard" holds graph partition shards that the partitioned
-#: islandizer's worker fleet memory-maps straight off the disk tier.
+#: islandizer's worker fleet memory-maps straight off the disk tier;
+#: "ilstate" holds the incremental-islandization bookkeeping
+#: (``IncrementalState``) recorded alongside an "islandization" under
+#: the *same key*, so the pair travels together through every tier.
 ARTIFACT_KINDS = (
-    "dataset", "clean_graph", "shard", "islandization", "workload",
-    "report", "summary",
+    "dataset", "clean_graph", "shard", "islandization", "ilstate",
+    "workload", "report", "summary",
 )
 
 
@@ -198,8 +203,10 @@ class DiskStore(ArtifactStore):
     #: whenever artifact *semantics* change without the cache key
     #: changing (locator algorithm tweaks, cost-model fixes, codec
     #: layout changes): old files then miss instead of silently serving
-    #: results computed by previous code.
-    VERSION = 1
+    #: results computed by previous code.  2: island ids became
+    #: positional (IslandizationResult npz format 2 dropped the
+    #: "island_ids" array).
+    VERSION = 2
 
     #: kind → (extension, encode(value, fh), decode(fh)).
     CODECS: dict[str, tuple[str, Callable, Callable]] = {
@@ -207,9 +214,18 @@ class DiskStore(ArtifactStore):
         "clean_graph": _npz_codec(CSRGraph),
         "shard": _npz_codec(GraphShard),
         "islandization": _npz_codec(IslandizationResult),
+        "ilstate": _npz_codec(IncrementalState),
         "workload": _npz_codec(Workload),
         "summary": (".json", _json_encode, _json_decode),
     }
+
+    #: Reachability index: one ``kind/filename`` line appended per
+    #: completed put().  Advisory — reads never consult it; only
+    #: :meth:`gc` does, to tell current-key-space artifacts from files
+    #: stranded by a :data:`VERSION` bump (which are well-named and
+    #: decodable, so :meth:`verify` rightly calls them intact, yet no
+    #: present-day key can ever address them again).
+    _INDEX_NAME = "index.log"
 
     def __init__(self, root: str | Path) -> None:
         super().__init__()
@@ -289,6 +305,37 @@ class DiskStore(ArtifactStore):
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
             raise
+        self._index_add(kind, path.name)
+
+    def _index_path(self) -> Path:
+        return self.root / self._INDEX_NAME
+
+    def _index_add(self, kind: str, name: str) -> None:
+        """Append one reachability line (``v<N> <kind>/<name>``).
+
+        One short O_APPEND write per line keeps concurrent sweep
+        workers from interleaving.  The index is advisory, so an
+        unwritable one degrades :meth:`gc` to its conservative sweep
+        instead of failing the put.
+        """
+        try:
+            with open(self._index_path(), "a") as fh:
+                fh.write(f"v{self.VERSION} {kind}/{name}\n")
+        except OSError:
+            pass
+
+    def _read_index(self) -> set[str] | None:
+        """Current-version ``kind/name`` entries, or None if no index."""
+        try:
+            text = self._index_path().read_text()
+        except OSError:
+            return None
+        prefix = f"v{self.VERSION} "
+        return {
+            line[len(prefix):]
+            for line in text.splitlines()
+            if line.startswith(prefix)
+        }
 
     @staticmethod
     def _artifact_files(directory: Path) -> list[Path]:
@@ -311,6 +358,12 @@ class DiskStore(ArtifactStore):
             if directory.is_dir():
                 removed += len(self._artifact_files(directory))
                 shutil.rmtree(directory)
+        if kind is None:
+            # Full clears drop the reachability index too; per-kind
+            # clears leave stale lines for gc() to compact (they only
+            # vouch for files that exist, so they resurrect nothing).
+            with contextlib.suppress(OSError):
+                self._index_path().unlink()
         return removed
 
     def entries(self) -> dict[str, tuple[int, int]]:
@@ -351,7 +404,8 @@ class DiskStore(ArtifactStore):
         if self.root.is_dir():
             for entry in sorted(self.root.iterdir()):
                 if not entry.is_dir():
-                    orphaned.append(entry)
+                    if entry.name != self._INDEX_NAME:
+                        orphaned.append(entry)
                     continue
                 known = entry.name in self.CODECS
                 ext = self.CODECS[entry.name][0] if known else ""
@@ -400,6 +454,111 @@ class DiskStore(ArtifactStore):
         except Exception:
             return False
         return True
+
+    def gc(self, *, dry_run: bool = False) -> "GCReport":
+        """Collect unreachable files from the cache directory.
+
+        :meth:`verify` judges files by *shape* (name, place, decodes);
+        ``gc`` judges them by *reachability*.  A file is garbage when
+        no ``(kind, key)`` lookup in the current key space can ever
+        return it:
+
+        * ``.tmp-`` debris and ill-named/foreign files (verify's
+          orphans — including whole non-kind directories);
+        * artifacts stranded by a :data:`VERSION` bump: perfectly
+          decodable, but addressed by a digest no current put/get
+          computes — these are invisible to ``verify`` and the reason
+          ``gc`` exists.
+
+        Stranded artifacts are recognised through the put-time
+        reachability index (``index.log``).  A store with *no* index
+        (populated by an older build) is swept conservatively — only
+        shape-orphans go — and its surviving artifacts are adopted
+        into a fresh index, so the *next* gc after a VERSION bump has
+        full precision.  ``dry_run=True`` reports what would be
+        removed without touching anything (index included).
+
+        Races: a put() completing mid-sweep either lands entirely
+        after the directory walk (unseen, untouched) or has its index
+        line visible by the time the index is read afterwards; the
+        narrow window between file rename and index append can cost
+        that one cache entry — the same forfeit put() itself accepts.
+        """
+        doomed: list[Path] = []
+        kept: list[tuple[str, Path]] = []
+        if self.root.is_dir():
+            for entry in sorted(self.root.iterdir()):
+                if not entry.is_dir():
+                    if entry.name != self._INDEX_NAME:
+                        doomed.append(entry)
+                    continue
+                known = entry.name in self.CODECS
+                ext = self.CODECS[entry.name][0] if known else ""
+                for path in sorted(entry.iterdir()):
+                    if (not path.is_file() or not known
+                            or not self._well_named(path, ext)):
+                        doomed.append(path)
+                    else:
+                        kept.append((entry.name, path))
+        # Read the index only after the walk (see the race note above).
+        index = self._read_index()
+        if index is not None:
+            reachable = [
+                (kind, path) for kind, path in kept
+                if f"{kind}/{path.name}" in index
+            ]
+            doomed.extend(path for kind, path in kept
+                          if f"{kind}/{path.name}" not in index)
+            kept = reachable
+        freed = sum(self._size_of(path) for path in doomed)
+        removed = 0
+        if not dry_run:
+            for path in doomed:
+                try:
+                    if path.is_dir():
+                        shutil.rmtree(path)
+                    else:
+                        path.unlink()
+                except OSError:
+                    continue  # raced or unremovable: report, don't count
+                removed += 1
+            if kept or index is not None:
+                # Compact (or, for a legacy store, adopt) the index.
+                self._rewrite_index(kept)
+        return GCReport(
+            root=str(self.root),
+            live=len(kept),
+            removed=[str(p) for p in doomed],
+            freed=freed,
+            removed_count=removed,
+            dry_run=dry_run,
+            indexed=index is not None,
+        )
+
+    def _rewrite_index(self, kept: list[tuple[str, Path]]) -> None:
+        """Atomically replace the index with the surviving entries."""
+        lines = "".join(
+            f"v{self.VERSION} {kind}/{path.name}\n" for kind, path in kept
+        )
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+            with os.fdopen(fd, "w") as fh:
+                fh.write(lines)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            with contextlib.suppress(OSError, UnboundLocalError):
+                os.unlink(tmp)
+
+    @staticmethod
+    def _size_of(path: Path) -> int:
+        try:
+            if path.is_dir():
+                return sum(
+                    p.stat().st_size for p in path.rglob("*") if p.is_file()
+                )
+            return path.stat().st_size
+        except OSError:
+            return 0
 
     def evict(self, max_bytes: int) -> tuple[int, int]:
         """Evict least-recently-used artifacts until ≤ ``max_bytes``.
@@ -456,6 +615,25 @@ class VerifyReport:
     def clean(self) -> bool:
         """True when every file on disk is a decodable artifact."""
         return not self.orphaned and not self.corrupt
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What :meth:`DiskStore.gc` found (and, unless dry-run, removed)."""
+
+    root: str
+    #: Reachable artifacts left in place.
+    live: int
+    #: Paths judged garbage (removal targets on a dry run).
+    removed: list[str]
+    #: Bytes those paths occupy.
+    freed: int
+    #: Files actually deleted (0 on a dry run or if removals raced).
+    removed_count: int
+    dry_run: bool
+    #: Whether a reachability index existed; without one the sweep is
+    #: conservative (shape-orphans only) and adopts the survivors.
+    indexed: bool
 
 
 class TieredStore(ArtifactStore):

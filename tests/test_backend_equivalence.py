@@ -39,11 +39,11 @@ def _diff(a, b):
     """Human-readable first divergence, for assertion messages."""
     if len(a.islands) != len(b.islands):
         return f"island count {len(a.islands)} != {len(b.islands)}"
-    for x, y in zip(a.islands, b.islands):
+    for i, (x, y) in enumerate(zip(a.islands, b.islands)):
         if not np.array_equal(x.members, y.members):
-            return f"island {x.island_id} members {x.members} != {y.members}"
+            return f"island {i} members {x.members} != {y.members}"
         if not np.array_equal(x.hubs, y.hubs):
-            return f"island {x.island_id} hubs {x.hubs} != {y.hubs}"
+            return f"island {i} hubs {x.hubs} != {y.hubs}"
     if not np.array_equal(a.hub_ids, b.hub_ids):
         return "hub_ids differ"
     if not np.array_equal(a.interhub_edges, b.interhub_edges):

@@ -20,7 +20,6 @@ def small_island_setup():
         .build()
     )
     island = Island(
-        island_id=0,
         round_id=1,
         members=np.array([1, 2, 3]),
         hubs=np.array([0]),
@@ -91,14 +90,14 @@ class TestIslandTask:
 class TestIslandDataclass:
     def test_rejects_empty_members(self):
         with pytest.raises(IslandizationError):
-            Island(0, 1, members=np.array([], dtype=np.int64), hubs=np.array([1]))
+            Island(1, members=np.array([], dtype=np.int64), hubs=np.array([1]))
 
     def test_rejects_member_hub_overlap(self):
         with pytest.raises(IslandizationError):
-            Island(0, 1, members=np.array([1, 2]), hubs=np.array([2]))
+            Island(1, members=np.array([1, 2]), hubs=np.array([2]))
 
     def test_local_order(self):
-        isl = Island(0, 1, members=np.array([5, 6]), hubs=np.array([1]))
+        isl = Island(1, members=np.array([5, 6]), hubs=np.array([1]))
         assert isl.local_order.tolist() == [1, 5, 6]
 
 

@@ -20,6 +20,28 @@ def test_examples_compile():
     assert compileall.compile_dir(str(EXAMPLES), quiet=1, force=True)
 
 
+def test_evolving_graph_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["evolving_graph.py"])
+    runpy.run_path(
+        str(EXAMPLES / "evolving_graph.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "restructuring per snapshot" in out
+    assert "Cumulative restructuring cost" in out
+    assert "bit-identical islandizations" in out
+
+    # Both from-scratch strategies must cost more than delta
+    # maintenance (the exact ratios are machine-dependent; the
+    # committed 2e6-edge record lives in BENCH_incremental.json).
+    def ratio(marker):
+        (line,) = [ln for ln in out.splitlines() if marker in ln]
+        return float(line.rsplit("|", 1)[1].strip().rstrip("x"))
+
+    assert ratio("I-GCN incremental (Engine.update)") == 1.0
+    assert ratio("record_islandization") > 1.0
+    assert ratio("rabbit reorder") > 1.0
+
+
 def test_streaming_pipeline_example(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["streaming_pipeline.py"])
     runpy.run_path(

@@ -104,7 +104,6 @@ class TestRoundTrips:
         island.to_npz(buf)
         buf.seek(0)
         restored = Island.from_npz(buf)
-        assert restored.island_id == island.island_id
         assert restored.round_id == island.round_id
         assert_bytes_identical(island.members, restored.members)
         assert_bytes_identical(island.hubs, restored.hubs)
@@ -139,7 +138,7 @@ class TestRoundTrips:
         assert_bytes_identical(islandization.interhub_edges, restored.interhub_edges)
         assert len(restored.islands) == len(islandization.islands)
         for a, b in zip(islandization.islands, restored.islands):
-            assert (a.island_id, a.round_id) == (b.island_id, b.round_id)
+            assert a.round_id == b.round_id
             assert_bytes_identical(a.members, b.members)
             assert_bytes_identical(a.hubs, b.hubs)
         assert restored.rounds == islandization.rounds
@@ -775,3 +774,110 @@ class TestDiskVerify:
         assert main(["cache", "stats", "--repair",
                      "--cache-dir", str(tmp_path)]) == 2
         assert "only applies to cache verify" in capsys.readouterr().err
+
+
+class TestDiskGC:
+    """Reachability GC: stranded-artifact collection via the put index."""
+
+    @pytest.fixture
+    def seeded(self, islandization, tmp_path):
+        store = DiskStore(tmp_path / "store")
+        store.put("islandization", "isl-key", islandization)
+        store.put("summary", "sum-key", {"latency_us": 1.0})
+        return store
+
+    def test_clean_store_collects_nothing(self, seeded):
+        report = seeded.gc()
+        assert report.live == 2
+        assert report.removed == []
+        assert report.indexed
+        assert seeded.get("summary", "sum-key") == {"latency_us": 1.0}
+
+    def test_stranded_artifact_is_collected(self, seeded):
+        # A well-named, decodable file that no current key addresses —
+        # what a VERSION bump leaves behind.  verify() calls it intact;
+        # gc() knows better.
+        live = seeded._path("summary", "sum-key")
+        stranded = live.parent / ("f" * 32 + ".json")
+        stranded.write_bytes(live.read_bytes())
+        assert seeded.verify().ok == 3  # verify cannot see the problem
+
+        report = seeded.gc(dry_run=True)
+        assert [Path(p).name for p in report.removed] == [stranded.name]
+        assert report.removed_count == 0 and stranded.exists()
+
+        report = seeded.gc()
+        assert report.removed_count == 1
+        assert not stranded.exists()
+        assert report.live == 2
+        assert seeded.get("islandization", "isl-key") is not MISS
+
+    def test_shape_orphans_are_collected_too(self, seeded):
+        root = seeded.root
+        (root / "summary" / ".tmp-died").write_bytes(b"x")
+        (root / "unknown-kind").mkdir()
+        (root / "unknown-kind" / "file.bin").write_bytes(b"x")
+        (root / "stray.txt").write_text("x")
+        report = seeded.gc()
+        assert len(report.removed) == 3
+        assert report.live == 2
+        assert seeded.verify().clean
+
+    def test_legacy_store_swept_conservatively_then_adopted(self, seeded):
+        # Deleting the index simulates a store written by an older
+        # build: decodable artifacts must survive the first gc (which
+        # adopts them); precision returns on the second.
+        (seeded.root / "index.log").unlink()
+        live = seeded._path("summary", "sum-key")
+        stranded = live.parent / ("f" * 32 + ".json")
+        stranded.write_bytes(live.read_bytes())
+
+        first = seeded.gc()
+        assert not first.indexed
+        assert first.live == 3 and stranded.exists()  # conservative
+
+        second = seeded.gc()
+        assert second.indexed
+        assert second.live == 3  # adopted: the copy is now reachable
+
+    def test_full_clear_drops_index(self, seeded):
+        seeded.clear()
+        assert not (seeded.root / "index.log").exists()
+        report = seeded.gc()
+        assert report.live == 0 and report.removed == []
+
+    def test_verify_spares_the_index(self, seeded):
+        report = seeded.verify()
+        assert report.clean  # index.log is not an orphan
+
+    def test_gc_missing_root(self, tmp_path):
+        report = DiskStore(tmp_path / "never-created").gc()
+        assert report.live == 0 and report.removed == []
+
+    def test_cache_gc_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = DiskStore(tmp_path / "store")
+        store.put("summary", "k", {"a": 1})
+        live = store._path("summary", "k")
+        stranded = live.parent / ("e" * 32 + ".json")
+        stranded.write_bytes(live.read_bytes())
+        argv = ["cache", "gc", "--cache-dir", str(store.root)]
+
+        assert main(argv + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 files" in out
+        assert stranded.exists()
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 reachable artifacts" in out
+        assert "removed 1 files" in out
+        assert not stranded.exists()
+
+    def test_dry_run_flag_needs_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--dry-run",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "only applies to cache gc" in capsys.readouterr().err
