@@ -11,7 +11,9 @@ Commands
               time scalar vs batched backends (BENCH_locator.json,
               BENCH_consumer.json); the ``pipeline`` suite times
               staged vs streamed execution and records the Fig. 3
-              overlap win (BENCH_pipeline.json)
+              overlap win (BENCH_pipeline.json); the ``pincr`` suite
+              times shard-routed incremental updates against full
+              fleet re-records (BENCH_pincr.json)
 ``spy``       ASCII spy plot of a dataset before/after islandization
 ``experiments`` regenerate every paper table/figure (slow)
 ``cache``     inspect, clear, or size-evict the persistent artifact
@@ -60,6 +62,7 @@ from repro.eval.bench_consumer import run_consumer_bench
 from repro.eval.bench_incremental import DELTA_TIERS, run_incremental_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
 from repro.eval.bench_partition import PARTITION_TIERS, run_partition_bench
+from repro.eval.bench_pincr import PINCR_DELTA_TIERS, run_pincr_bench
 from repro.eval.bench_pipeline import run_pipeline_bench
 from repro.eval.experiments import (
     experiment_fig9,
@@ -222,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("suite",
                        choices=["locator", "consumer", "pipeline",
-                                "partition", "incremental"],
+                                "partition", "incremental", "pincr"],
                        help="benchmark suite to run: locator/consumer time "
                             "scalar vs batched backends, pipeline times "
                             "staged vs streamed execution and records the "
@@ -231,7 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes and records peak RSS plus the "
                             "quality delta, incremental times delta-driven "
                             "island maintenance vs from-scratch rebuilds "
-                            "across a ladder of delta sizes")
+                            "across a ladder of delta sizes, pincr times "
+                            "shard-routed incremental updates vs full "
+                            "fleet re-records on one warm shard fleet")
     tier_choices = list(BENCH_TIERS) + [
         t for t in PARTITION_TIERS if t not in BENCH_TIERS
     ] + [t for t in DELTA_TIERS if t not in BENCH_TIERS]
@@ -250,28 +255,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--preagg-k", type=int, default=_DEFAULT_PREAGG_K,
                        help="consumer suite: pre-aggregation window width")
     bench.add_argument("--partitions", type=int, default=4,
-                       help="partition suite: shard count for the "
-                            "partitioned contender")
+                       help="partition/pincr suites: shard count for the "
+                            "partitioned contender (pincr real runs use "
+                            "--partitions 6 to match BENCH_partition)")
     bench.add_argument("--workers", type=int, default=None,
-                       help="partition suite: worker processes "
+                       help="partition/pincr suites: worker processes "
                             "(default: --partitions)")
     bench.add_argument("--partition-strategy",
                        choices=["separator", "range"], default="separator",
-                       help="partition suite: graph-splitting strategy")
+                       help="partition/pincr suites: graph-splitting "
+                            "strategy")
     bench.add_argument("--max-edges", type=int, default=None,
-                       help="partition/incremental suites: cap the target "
-                            "edge count so the big tiers smoke-run small "
-                            "(CI uses this; the cap is recorded in the "
-                            "JSON — the incremental suite caps its big "
+                       help="partition/incremental/pincr suites: cap the "
+                            "target edge count so the big tiers smoke-run "
+                            "small (CI uses this; the cap is recorded in "
+                            "the JSON — the delta suites cap their big "
                             "deltas to match)")
     bench.add_argument("--delta-seed", type=int, default=11,
-                       help="incremental suite: RNG seed of the churn "
-                            "deltas (each tier draws from a fresh "
+                       help="incremental/pincr suites: RNG seed of the "
+                            "churn deltas (each tier draws from a fresh "
                             "generator at this seed)")
     bench.add_argument("--graph-dir", metavar="DIR", default=None,
-                       help="partition suite: cache generated benchmark "
-                            "graphs under DIR (default: a shared temp "
-                            "directory)")
+                       help="partition/pincr suites: cache generated "
+                            "benchmark graphs under DIR (default: a "
+                            "shared temp directory)")
     bench.add_argument("--no-verify", action="store_true",
                        help="skip the per-tier verification (backend "
                             "equivalence, or for the partition suite the "
@@ -469,8 +476,11 @@ def _cmd_islandize(args) -> int:
     if update is not None:
         how = (f"full rebuild ({update.fallback_reason})" if update.fallback
                else "incremental splice")
+        shards = getattr(update, "dirty_shards", None)
+        extra = (f", {len(shards)} dirty shard(s) "
+                 f"{sorted(shards)}" if shards is not None else "")
         print(f"delta: {how}; dirty {update.dirty_nodes} nodes, "
-              f"region {update.region_nodes} nodes")
+              f"region {update.region_nodes} nodes{extra}")
     return 0
 
 
@@ -612,7 +622,7 @@ def _cmd_bench(args) -> int:
         raise SimulationError(
             f"--repeats must be >= 1 (got {args.repeats})"
         )
-    if args.suite != "partition":
+    if args.suite not in ("partition", "pincr"):
         # Silently ignoring partition-only knobs would mislead.
         for flag, default in (("partitions", 4), ("workers", None),
                               ("partition_strategy", "separator"),
@@ -620,20 +630,21 @@ def _cmd_bench(args) -> int:
             if getattr(args, flag) != default:
                 raise SimulationError(
                     f"--{flag.replace('_', '-')} only applies to the "
-                    f"partition suite"
+                    f"partition and pincr suites"
                 )
         if args.suite != "incremental" and args.max_edges is not None:
             raise SimulationError(
-                "--max-edges only applies to the partition and "
-                "incremental suites"
+                "--max-edges only applies to the partition, incremental "
+                "and pincr suites"
             )
-    if args.suite != "incremental" and args.delta_seed != 11:
+    if args.suite not in ("incremental", "pincr") and args.delta_seed != 11:
         raise SimulationError(
-            "--delta-seed only applies to the incremental suite"
+            "--delta-seed only applies to the incremental and pincr suites"
         )
     tiers = args.tiers or (
         list(PARTITION_TIERS) if args.suite == "partition"
         else list(DELTA_TIERS) if args.suite == "incremental"
+        else list(PINCR_DELTA_TIERS) if args.suite == "pincr"
         else list(BENCH_TIERS)
     )
     if args.suite == "partition":
@@ -641,6 +652,25 @@ def _cmd_bench(args) -> int:
             tiers=tiers,
             repeats=args.repeats,
             seed=args.seed,
+            c_max=args.cmax,
+            partitions=args.partitions,
+            workers=args.workers,
+            strategy=args.partition_strategy,
+            max_edges=args.max_edges,
+            graph_dir=args.graph_dir,
+            verify=not args.no_verify,
+        )
+    elif args.suite == "pincr":
+        if args.preagg_k != _DEFAULT_PREAGG_K:
+            raise SimulationError(
+                "--preagg-k configures the consumer scan and only applies "
+                "to the consumer and pipeline suites"
+            )
+        record = run_pincr_bench(
+            tiers=tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            delta_seed=args.delta_seed,
             c_max=args.cmax,
             partitions=args.partitions,
             workers=args.workers,
@@ -718,6 +748,26 @@ def _cmd_bench(args) -> int:
             f"shards x {record['config']['workers']} workers "
             f"(best-of wall clock, fresh processes)"
         )
+    elif args.suite == "pincr":
+        rows = [
+            {
+                "delta": row["tier"],
+                "edits": row["delta_edges"],
+                "update_s": row["update_s"],
+                "rerecord_s": row["rerecord_s"],
+                "speedup": row["speedup"],
+                "dirty_shards": len(row["dirty_shards"]),
+                "fallback": str(row["fallback"]),
+                "equal": "-" if row["equal"] is None else str(row["equal"]),
+            }
+            for row in record["tiers"]
+        ]
+        title = (
+            f"shard-routed updates vs full fleet re-record, "
+            f"{record['config']['partitions']} shards x "
+            f"{record['config']['workers']} workers "
+            f"(warm fleet, best-of wall clock)"
+        )
     elif args.suite == "incremental":
         rows = [
             {
@@ -791,21 +841,24 @@ def _cmd_bench(args) -> int:
             if args.suite == "partition"
             else "the incremental update and the from-scratch locator"
             if args.suite == "incremental"
+            else "the shard-routed update and the fleet re-record"
+            if args.suite == "pincr"
             else "pipeline modes" if args.suite == "pipeline"
             else "backends"
         )
         print(f"error: {what} diverged — see rows above and "
               f"{output}", file=sys.stderr)
         return 1
-    if args.suite == "incremental":
+    if args.suite in ("incremental", "pincr"):
+        baseline = ("full fleet re-record" if args.suite == "pincr"
+                    else "recording rebuild")
         if record["headline_tier"] is None:
-            print(f"\nwrote {output}: no delta tier beats the recording "
-                  f"rebuild")
+            print(f"\nwrote {output}: no delta tier beats the {baseline}")
         else:
             cross = record["crossover_delta"] or "beyond the ladder"
             print(f"\nwrote {output}: {record['headline_tier']}-edit delta "
-                  f"speedup {record['headline_speedup']}x vs recording "
-                  f"rebuild (crossover at {cross})")
+                  f"speedup {record['headline_speedup']}x vs {baseline} "
+                  f"(crossover at {cross})")
     else:
         print(f"\nwrote {output}: largest tier {record['largest_tier']} "
               f"speedup {record['largest_speedup']}x")

@@ -76,8 +76,11 @@ class LocatorConfig:
         of re-islandized from scratch.  The result itself is identical
         with or without recording; the flag is still part of the config
         digest so stores pair every islandization with its state
-        artifact unambiguously.  Incompatible with ``partitions > 1``
-        (delta maintenance is defined against the monolithic locator).
+        artifact unambiguously.  With ``partitions > 1`` the recording
+        runs per shard and the state is a
+        ``repro.core.islandizer_pincremental.PartitionedIncrementalState``
+        — one per-shard state plus the partition bookkeeping that
+        routes later edits to the shards they actually touch.
     """
 
     p1: int = 64
@@ -118,10 +121,6 @@ class LocatorConfig:
             )
         if not isinstance(self.incremental, bool):
             raise ConfigError("incremental must be a bool")
-        if self.incremental and self.partitions > 1:
-            raise ConfigError(
-                "incremental islandization requires partitions == 1"
-            )
 
     def initial_threshold(self, degrees: np.ndarray) -> int:
         """Resolve TH0 for a given degree array."""

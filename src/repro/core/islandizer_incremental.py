@@ -89,7 +89,7 @@ from repro.core.types import (
     LocatorWork,
     RoundStats,
 )
-from repro.errors import ConfigError, IslandizationError
+from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph, GraphDelta
 from repro.serialize import read_npz, write_npz
 
@@ -207,6 +207,11 @@ class IncrementalState:
     def from_npz(cls, file: str | IO[bytes]) -> "IncrementalState":
         """Restore a state written by :meth:`to_npz`."""
         arrays, meta = read_npz(file)
+        return cls._from_arrays(arrays, meta)
+
+    @classmethod
+    def _from_arrays(cls, arrays: dict, meta: dict) -> "IncrementalState":
+        """Build from already-parsed npz payload (format-dispatch hook)."""
         return cls(th0=int(meta["th0"]), **arrays)
 
 
@@ -286,7 +291,11 @@ def record_islandization(
     """
     config = config or LocatorConfig()
     if config.partitions > 1:
-        raise ConfigError("incremental islandization requires partitions == 1")
+        from repro.core.islandizer_pincremental import (
+            record_islandization_partitioned,
+        )
+
+        return record_islandization_partitioned(graph, config)
     rounds_log: list[tuple[np.ndarray, ...]] = []
 
     def tap(round_id: int, hubs: np.ndarray, seeds: np.ndarray,
@@ -1092,7 +1101,14 @@ def update_islandization(
     """
     config = config or LocatorConfig()
     if config.partitions > 1:
-        raise ConfigError("incremental islandization requires partitions == 1")
+        from repro.core.islandizer_pincremental import (
+            update_islandization_partitioned,
+        )
+
+        return update_islandization_partitioned(
+            old_graph, cached, state, delta, config,
+            max_dirty_fraction=max_dirty_fraction, applied=applied,
+        )
     if applied is None:
         new_graph, ins_eff, del_eff = old_graph.apply_delta(
             delta, with_changes=True

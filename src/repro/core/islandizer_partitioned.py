@@ -57,7 +57,7 @@ from repro.core.types import (
 )
 from repro.errors import IslandizationError
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import GraphPartition, GraphShard, partition_graph
+from repro.graph.partition import GraphShard, partition_graph
 from repro.serialize import config_digest
 
 __all__ = [
@@ -123,7 +123,13 @@ def islandize_partitioned(
         result = runs[0].result
         result.graph = graph
         return result
-    return _merge(graph, config, partition, [run.result for run in runs])
+    return _merge(
+        graph, config,
+        boundary=partition.boundary_nodes,
+        maps=[shard.global_nodes for shard in partition.shards],
+        stats=partition.stats,
+        shard_results=[run.result for run in runs],
+    )
 
 
 def _run_shards(graph, config, partition, store, max_workers):
@@ -202,13 +208,21 @@ def _shard_worker(job):
 def _merge(
     graph: CSRGraph,
     config: LocatorConfig,
-    partition: GraphPartition,
+    *,
+    boundary: np.ndarray,
+    maps: list[np.ndarray],
+    stats,
     shard_results: list[IslandizationResult],
 ) -> IslandizationResult:
-    """Merge per-shard results into one valid global result."""
+    """Merge per-shard results into one valid global result.
+
+    Takes the partition as loose pieces (separator, per-shard global
+    node maps, the frozen :class:`~repro.graph.partition.PartitionStats`)
+    rather than a :class:`GraphPartition`: the incremental router
+    re-reconciles from cached per-shard results long after the shard
+    objects are gone, and the merge never needs the shard graphs.
+    """
     n = graph.num_nodes
-    boundary = partition.boundary_nodes
-    maps = [shard.global_nodes for shard in partition.shards]
 
     # Global hub set: boundary (round 0) + every shard hub (its round).
     hub_ids = [boundary]
@@ -347,7 +361,7 @@ def _merge(
     )
 
     rounds = _merge_rounds(
-        graph, config, partition, shard_results,
+        graph, config, stats, shard_results,
         boundary_hubs=len(boundary),
         stitched_pairs=len(stitched),
         max_rounds=max_rounds,
@@ -400,7 +414,7 @@ def _flatten_islands(res: IslandizationResult, local_map: np.ndarray) -> dict:
     }
 
 
-def _merge_rounds(graph, config, partition, shard_results, *,
+def _merge_rounds(graph, config, stats, shard_results, *,
                   boundary_hubs, stitched_pairs, max_rounds):
     """Synthetic round 0 (partitioning) + per-round sums across shards.
 
@@ -409,7 +423,6 @@ def _merge_rounds(graph, config, partition, shard_results, *,
     maximum is the most conservative single number) and
     ``nodes_remaining`` sums shard populations.
     """
-    stats = partition.stats
     round0 = RoundStats(
         round_id=0,
         threshold=int(config.initial_threshold(graph.degrees)),

@@ -159,78 +159,195 @@ def incremental_bench_graph(
 
 
 def churn_delta(
-    graph: CSRGraph, rng: np.random.Generator, k: int, th0: int
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    k: int,
+    th0: int,
+    *,
+    oracle: bool = False,
 ) -> GraphDelta:
     """``k`` churn edits: triadic insertions + uniform deletions.
 
     See the module docstring for why insertions close wedges through
     non-hub mutual neighbours.  Returns ``k//2`` insertions and
     ``k - k//2`` deletions, all distinct undirected pairs.
+
+    Random draws happen in fixed-size batches consumed identically by
+    two implementations of the candidate extraction: the vectorized
+    default (the per-edit Python loop used to dominate the 1e5-tier
+    profile) and the original scalar loop, kept as ``oracle=True``.
+    Same generator state in, **byte-identical** delta out — pinned by
+    the tests.
     """
     n = graph.num_nodes
-    degrees = graph.degrees
-    nonhub = degrees < th0
+    nonhub = graph.degrees < th0
     indptr, indices = graph.indptr, graph.indices
     ekeys = graph.edge_keys()
-    eset = set(ekeys.tolist())
-    ins: list[tuple[int, int]] = []
-    dels: list[tuple[int, int]] = []
-    seen: set[int] = set()
     k_ins = k // 2
     k_del = k - k_ins
+    if oracle:
+        eset = set(ekeys.tolist())
+    else:
+        # Running count of non-hub adjacency entries: the idx-th
+        # non-hub neighbour of any row is one searchsorted away.
+        prefix = np.zeros(len(indices) + 1, dtype=np.int64)
+        np.cumsum(nonhub[indices], out=prefix[1:])
+    ins: list[tuple[int, int]] = []
+    seen: set[int] = set()
     # Rejection sampling needs a budget: a tiny or saturated graph may
     # simply have no k closable wedges left.
     attempts = 0
     budget = 50 * k_ins + 1_000
     while len(ins) < k_ins:
-        attempts += 1
-        if attempts > budget:
+        if attempts >= budget:
             raise ConfigError(
                 f"graph too small for a {k}-edit churn delta "
                 f"({len(ins)}/{k_ins} insertions found)"
             )
-        u = int(rng.integers(0, n))
-        lo, hi = indptr[u], indptr[u + 1]
+        b = min(budget - attempts, max(256, 2 * (k_ins - len(ins))))
+        attempts += b
+        u = rng.integers(0, n, size=b)
+        r1 = rng.random(b)
+        r2 = rng.random(b)
+        if oracle:
+            cand = _ins_candidates_scalar(
+                u, r1, r2, indptr=indptr, indices=indices,
+                nonhub=nonhub, eset=eset, n=n,
+            )
+        else:
+            cand = _ins_candidates(
+                u, r1, r2, indptr=indptr, indices=indices,
+                prefix=prefix, ekeys=ekeys, n=n,
+            )
+        # Dedup against earlier accepts stays sequential — a later
+        # candidate may repeat an earlier one — but now runs over the
+        # few surviving candidate keys, not every raw draw.
+        for cu, cw, ck in zip(*cand):
+            if len(ins) >= k_ins:
+                break
+            ck = int(ck)
+            if ck in seen:
+                continue
+            seen.add(ck)
+            ins.append((int(cu), int(cw)))
+    # Oversample deletion candidates 4x: some collapse to duplicate
+    # undirected pairs or collide with an insertion's pair.
+    pick = rng.choice(len(ekeys), size=min(4 * k_del, len(ekeys)),
+                      replace=False)
+    picked = ekeys[pick]
+    if oracle:
+        dels: list[tuple[int, int]] = []
+        for key in picked:
+            if len(dels) >= k_del:
+                break
+            key = int(key)
+            u, v = key // n, key % n
+            canon = min(u, v) * n + max(u, v)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            dels.append((u, v))
+        del_arr = np.asarray(dels, dtype=np.int64).reshape(-1, 2)
+    else:
+        # First occurrence per canonical pair == the scalar scan's
+        # accept order; insertion collisions drop via one sorted
+        # membership pass over the accepted insertion keys.
+        canon = (
+            np.minimum(picked // n, picked % n) * n
+            + np.maximum(picked // n, picked % n)
+        )
+        uniq, first = np.unique(canon, return_index=True)
+        if seen:
+            ins_keys = np.sort(
+                np.fromiter(seen, dtype=np.int64, count=len(seen))
+            )
+            pos = np.searchsorted(ins_keys, uniq)
+            inb = pos < len(ins_keys)
+            hit = np.zeros(len(uniq), dtype=bool)
+            hit[inb] = ins_keys[pos[inb]] == uniq[inb]
+            first = first[~hit]
+        first.sort()
+        sel = picked[first[:k_del]]
+        del_arr = np.stack([sel // n, sel % n], axis=1)
+    if len(del_arr) < k_del:
+        raise ConfigError(
+            f"graph too small for a {k}-edit churn delta "
+            f"({len(del_arr)}/{k_del} deletions found)"
+        )
+    return GraphDelta.from_edges(
+        insertions=np.asarray(ins, dtype=np.int64).reshape(-1, 2),
+        deletions=del_arr,
+    )
+
+
+def _ins_candidates(u, r1, r2, *, indptr, indices, prefix, ekeys, n):
+    """Vectorized wedge-closure candidates for one batch of draws.
+
+    Returns ``(u, w, canonical key)`` of every draw that survives the
+    rejection rules (non-empty rows, ``w != u``, edge absent), in draw
+    order — exactly what :func:`_ins_candidates_scalar` yields from
+    the same batch.
+    """
+    last = len(indices) - 1
+    if last < 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    lo = indptr[u]
+    deg_u = indptr[u + 1] - lo
+    cnt_local = prefix[indptr[u + 1]] - prefix[lo]
+    has_local = cnt_local > 0
+    pool = np.where(has_local, cnt_local, deg_u)
+    idx = (r1 * pool).astype(np.int64)
+    # idx-th non-hub neighbour: first prefix position reaching
+    # prefix[row start] + idx + 1 (fallback rows get a harmless 0
+    # target; they read the plain idx-th neighbour instead).
+    target = np.where(has_local, prefix[lo] + idx + 1, 0)
+    p = np.searchsorted(prefix, target, side="left") - 1
+    v_local = indices[np.clip(p, 0, last)]
+    v_fall = indices[np.clip(lo + idx, 0, last)]
+    v = np.where(has_local, v_local, v_fall)
+    lo_v = indptr[v]
+    deg_v = indptr[v + 1] - lo_v
+    w = indices[np.clip(lo_v + (r2 * deg_v).astype(np.int64), 0, last)]
+    valid = (deg_u > 0) & (deg_v > 0) & (w != u)
+    key = np.minimum(u, w) * n + np.maximum(u, w)
+    pos = np.searchsorted(ekeys, key)
+    inb = pos < len(ekeys)
+    exists = np.zeros(len(u), dtype=bool)
+    exists[inb] = ekeys[pos[inb]] == key[inb]
+    valid &= ~exists
+    return u[valid], w[valid], key[valid]
+
+
+def _ins_candidates_scalar(u_batch, r1, r2, *, indptr, indices, nonhub,
+                           eset, n):
+    """The original per-edit loop over one batch (the vectorization
+    oracle): same draws in, same candidates out."""
+    out_u: list[int] = []
+    out_w: list[int] = []
+    out_k: list[int] = []
+    for i in range(len(u_batch)):
+        u = int(u_batch[i])
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
         if hi == lo:
             continue
         nbrs = indices[lo:hi]
         local = nbrs[nonhub[nbrs]]
         pool = local if len(local) else nbrs
-        v = int(pool[rng.integers(0, len(pool))])
-        lo2, hi2 = indptr[v], indptr[v + 1]
+        v = int(pool[int(r1[i] * len(pool))])
+        lo2, hi2 = int(indptr[v]), int(indptr[v + 1])
         if hi2 == lo2:
             continue
-        w = int(indices[lo2 + rng.integers(0, hi2 - lo2)])
+        w = int(indices[lo2 + int(r2[i] * (hi2 - lo2))])
         if w == u:
             continue
         key = min(u, w) * n + max(u, w)
-        if key in eset or key in seen:
+        if key in eset:
             continue
-        seen.add(key)
-        ins.append((u, w))
-    # Oversample deletion candidates 4x: some collapse to duplicate
-    # undirected pairs or collide with an insertion's pair.
-    pick = rng.choice(len(ekeys), size=min(4 * k_del, len(ekeys)),
-                      replace=False)
-    for key in ekeys[pick]:
-        if len(dels) >= k_del:
-            break
-        key = int(key)
-        u, v = key // n, key % n
-        canon = min(u, v) * n + max(u, v)
-        if canon in seen:
-            continue
-        seen.add(canon)
-        dels.append((u, v))
-    if len(dels) < k_del:
-        raise ConfigError(
-            f"graph too small for a {k}-edit churn delta "
-            f"({len(dels)}/{k_del} deletions found)"
-        )
-    return GraphDelta.from_edges(
-        insertions=np.asarray(ins, dtype=np.int64).reshape(-1, 2),
-        deletions=np.asarray(dels, dtype=np.int64).reshape(-1, 2),
-    )
+        out_u.append(u)
+        out_w.append(w)
+        out_k.append(key)
+    return out_u, out_w, out_k
 
 
 def _best(fn, repeats: int):

@@ -48,10 +48,21 @@ __all__ = [
     "GraphShard",
     "GraphPartition",
     "partition_graph",
+    "route_edits",
+    "separator_membership",
+    "ROUTE_BOUNDARY",
+    "ROUTE_INTERIOR",
+    "ROUTE_CROSS",
 ]
 
 #: Strategies accepted by :func:`partition_graph`.
 PARTITION_STRATEGIES = ("separator", "range")
+
+#: :func:`route_edits` codes: the edit touches the separator, is
+#: interior to one shard, or connects interiors of two shards.
+ROUTE_BOUNDARY = 0
+ROUTE_INTERIOR = 1
+ROUTE_CROSS = 2
 
 
 class PartitionError(ReproError):
@@ -216,6 +227,46 @@ class GraphPartition:
                 raise PartitionError(
                     f"shard {shard.part_id} is not the induced interior subgraph"
                 )
+
+
+def separator_membership(part_of: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Boolean mask: which of ``nodes`` are separator (boundary) nodes.
+
+    ``part_of`` is a :class:`GraphPartition`-style assignment (shard id
+    per interior node, ``-1`` on the separator); the incremental router
+    evolves such an array outside any ``GraphPartition`` object, so the
+    query takes the raw array rather than the partition.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return part_of[nodes] < 0
+
+
+def route_edits(
+    part_of: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classify undirected edits against a partition assignment.
+
+    Returns ``(route, shard)``, parallel to the ``(src, dst)`` edit
+    arrays: ``route[i]`` is :data:`ROUTE_BOUNDARY` when either endpoint
+    sits on the separator (the edit never appears in any interior shard
+    subgraph — only the reconciliation pass sees it),
+    :data:`ROUTE_INTERIOR` when both endpoints are interior to the same
+    shard (``shard[i]`` names it), or :data:`ROUTE_CROSS` when the
+    endpoints are interior to two *different* shards — an edit the
+    separator invariant forbids as an existing edge, so it can only be
+    an insertion, and routing it requires promoting its endpoints into
+    the separator first.  ``shard[i]`` is ``-1`` for non-interior edits.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    ps, pd = part_of[src], part_of[dst]
+    route = np.full(len(src), ROUTE_CROSS, dtype=np.int64)
+    boundary = (ps < 0) | (pd < 0)
+    interior = ~boundary & (ps == pd)
+    route[boundary] = ROUTE_BOUNDARY
+    route[interior] = ROUTE_INTERIOR
+    shard = np.where(interior, ps, -1)
+    return route, shard
 
 
 def partition_graph(

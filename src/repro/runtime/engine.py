@@ -43,6 +43,12 @@ from repro.core.islandizer_incremental import (
     record_islandization,
     update_islandization,
 )
+from repro.core.islandizer_pincremental import (
+    PartitionedIncrementalState,
+    PartitionedIncrementalUpdate,
+    ShardFleet,
+    update_islandization_partitioned,
+)
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError, SimulationError
 from repro.graph.csr import CSRGraph, GraphDelta
@@ -142,6 +148,34 @@ class Engine:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.store = store if store is not None else build_store(self.cache_dir)
         self._stats: dict[str, CacheStats] = {n: CacheStats() for n in _CACHE_NAMES}
+        self._fleets: dict[str, ShardFleet] = {}
+
+    def close(self) -> None:
+        """Shut down any warm shard fleets this engine spawned.
+
+        Fleets (worker pools for partitioned incremental updates) are
+        created lazily by :meth:`update` and kept warm for chaining;
+        they hold OS resources, so long-lived callers should close the
+        engine when done.  Safe to call repeatedly; the engine remains
+        usable (fleets respawn on demand).
+        """
+        for fleet in self._fleets.values():
+            fleet.close()
+        self._fleets.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _fleet(self, config: LocatorConfig) -> ShardFleet:
+        """The warm :class:`ShardFleet` for ``config`` (lazily built)."""
+        key = config_digest(config)
+        fleet = self._fleets.get(key)
+        if fleet is None:
+            fleet = self._fleets.setdefault(key, ShardFleet(config))
+        return fleet
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -269,7 +303,9 @@ class Engine:
 
     def islandization_state(
         self, graph: CSRGraph, config: LocatorConfig | None = None
-    ) -> tuple[IslandizationResult, IncrementalState]:
+    ) -> tuple[
+        IslandizationResult, IncrementalState | PartitionedIncrementalState
+    ]:
         """Cached (result, incremental state) pair for (graph, config).
 
         The pair is produced by one
@@ -279,7 +315,10 @@ class Engine:
         matching halves.  A half-present pair (one kind evicted) is
         re-recorded whole — the result side of a recording run is
         identical to a plain islandization, so nothing downstream can
-        observe the recompute.
+        observe the recompute.  With ``partitions > 1`` the recording
+        runs through the shard fleet and the state half is a
+        :class:`~repro.core.islandizer_pincremental.PartitionedIncrementalState`
+        (the ``ilstate`` codec dispatches on the serialized format).
 
         Requires a config with ``incremental=True`` (the flag is part
         of the config digest, keeping these entries distinct from
@@ -314,7 +353,7 @@ class Engine:
         config: LocatorConfig | None = None,
         *,
         max_dirty_fraction: float = 0.5,
-    ) -> IncrementalUpdate:
+    ) -> IncrementalUpdate | PartitionedIncrementalUpdate:
         """Maintain a cached islandization under an edge delta.
 
         Fetches (or records) the (result, state) pair for ``graph``,
@@ -331,16 +370,27 @@ class Engine:
         (islandization is defined on self-loop-free graphs).  Returns
         the full :class:`~repro.core.islandizer_incremental.IncrementalUpdate`
         (result, refreshed state, dirty-region telemetry, and whether
-        the update fell back to a recording rebuild).
+        the update fell back to a recording rebuild) — or its
+        partitioned counterpart when the state is shard-routed, in
+        which case the delta runs through this engine's warm
+        :class:`~repro.core.islandizer_pincremental.ShardFleet` so
+        chained updates reuse one worker pool (see :meth:`close`).
         """
         config = config or self.locator_config
         cached, state = self.islandization_state(graph, config)
         clean = self.clean_graph(graph)
         applied = clean.apply_delta(delta, with_changes=True)
-        upd = update_islandization(
-            clean, cached, state, delta, config,
-            max_dirty_fraction=max_dirty_fraction, applied=applied,
-        )
+        if isinstance(state, PartitionedIncrementalState):
+            upd = update_islandization_partitioned(
+                clean, cached, state, delta, config,
+                max_dirty_fraction=max_dirty_fraction, applied=applied,
+                fleet=self._fleet(config),
+            )
+        else:
+            upd = update_islandization(
+                clean, cached, state, delta, config,
+                max_dirty_fraction=max_dirty_fraction, applied=applied,
+            )
         new_graph = upd.result.graph
         new_key = f"{graph_fingerprint(new_graph)}|loc={config_digest(config)}"
         self.store.put("clean_graph", graph_fingerprint(new_graph), new_graph)

@@ -34,11 +34,16 @@ import json
 import os
 import shutil
 import tempfile
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, IO
 
-from repro.core.islandizer_incremental import IncrementalState
+from repro.core.islandizer_pincremental import load_ilstate
 from repro.core.types import IslandizationResult
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
@@ -214,7 +219,9 @@ class DiskStore(ArtifactStore):
         "clean_graph": _npz_codec(CSRGraph),
         "shard": _npz_codec(GraphShard),
         "islandization": _npz_codec(IslandizationResult),
-        "ilstate": _npz_codec(IncrementalState),
+        # ilstate decodes through a format dispatcher: format 1 is the
+        # monolithic IncrementalState, format 2 the partitioned pair.
+        "ilstate": (".npz", lambda value, fh: value.to_npz(fh), load_ilstate),
         "workload": _npz_codec(Workload),
         "summary": (".json", _json_encode, _json_decode),
     }
@@ -226,6 +233,10 @@ class DiskStore(ArtifactStore):
     #: decodable, so :meth:`verify` rightly calls them intact, yet no
     #: present-day key can ever address them again).
     _INDEX_NAME = "index.log"
+
+    #: Advisory ``fcntl`` lockfile serialising index appends against
+    #: the gc sweep's index rewrite (see :meth:`_index_lock`).
+    _LOCK_NAME = ".index.lock"
 
     def __init__(self, root: str | Path) -> None:
         super().__init__()
@@ -300,15 +311,48 @@ class DiskStore(ArtifactStore):
         try:
             with os.fdopen(fd, "wb") as fh:
                 encode(value, fh)
-            os.replace(tmp, path)
+            # Publish + index under the advisory lock: without it, a
+            # concurrent gc on a shared mount can walk the tree before
+            # this rename lands yet rewrite the index after this append
+            # lands — compacting the new line away and stranding the
+            # artifact for the *next* sweep.  Holding the lock across
+            # both steps makes a put land entirely before or entirely
+            # after any gc's walk-and-rewrite.
+            with self._index_lock():
+                os.replace(tmp, path)
+                self._index_add(kind, path.name)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
             raise
-        self._index_add(kind, path.name)
 
     def _index_path(self) -> Path:
         return self.root / self._INDEX_NAME
+
+    @contextlib.contextmanager
+    def _index_lock(self):
+        """Advisory cross-process lock over index writes and gc sweeps.
+
+        ``fcntl.flock`` on ``<root>/.index.lock`` — advisory like the
+        index itself: platforms without ``fcntl``, unwritable roots and
+        pre-lock readers all degrade to the old unserialised behaviour
+        instead of failing the operation.
+        """
+        if fcntl is None or not self.root.is_dir():
+            yield
+            return
+        try:
+            fh = open(self.root / self._LOCK_NAME, "a+b")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fh, fcntl.LOCK_UN)
+            fh.close()
 
     def _index_add(self, kind: str, name: str) -> None:
         """Append one reachability line (``v<N> <kind>/<name>``).
@@ -404,7 +448,7 @@ class DiskStore(ArtifactStore):
         if self.root.is_dir():
             for entry in sorted(self.root.iterdir()):
                 if not entry.is_dir():
-                    if entry.name != self._INDEX_NAME:
+                    if entry.name not in (self._INDEX_NAME, self._LOCK_NAME):
                         orphaned.append(entry)
                     continue
                 known = entry.name in self.CODECS
@@ -478,18 +522,26 @@ class DiskStore(ArtifactStore):
         full precision.  ``dry_run=True`` reports what would be
         removed without touching anything (index included).
 
-        Races: a put() completing mid-sweep either lands entirely
-        after the directory walk (unseen, untouched) or has its index
-        line visible by the time the index is read afterwards; the
-        narrow window between file rename and index append can cost
-        that one cache entry — the same forfeit put() itself accepts.
+        Races: the whole sweep — walk, index read, deletions, index
+        rewrite — runs under the advisory ``fcntl`` index lock, so a
+        concurrent writer's put (which publishes file + index line
+        under the same lock) lands entirely before the walk or
+        entirely after the rewrite; on shared mounts neither side can
+        strand the other's artifacts.  Without ``fcntl`` the old
+        best-effort ordering applies: the narrow window between file
+        rename and index append can cost that one cache entry — the
+        same forfeit put() itself accepts.
         """
+        with self._index_lock():
+            return self._gc_locked(dry_run=dry_run)
+
+    def _gc_locked(self, *, dry_run: bool) -> "GCReport":
         doomed: list[Path] = []
         kept: list[tuple[str, Path]] = []
         if self.root.is_dir():
             for entry in sorted(self.root.iterdir()):
                 if not entry.is_dir():
-                    if entry.name != self._INDEX_NAME:
+                    if entry.name not in (self._INDEX_NAME, self._LOCK_NAME):
                         doomed.append(entry)
                     continue
                 known = entry.name in self.CODECS

@@ -279,11 +279,25 @@ class TestFallbacks:
         assert upd.result.equals(islandize(mutated, config))
         assert_state_fresh(upd.state, mutated, config)
 
-    def test_partitions_rejected(self):
-        graph = GraphBuilder(6).add_clique([0, 1, 2, 3]).build()
-        config = LocatorConfig(partitions=2)
-        with pytest.raises(ConfigError):
-            record_islandization(graph, config)
+    def test_partitions_dispatch(self, rng):
+        # partitions > 1 no longer rejects: record/update dispatch to
+        # the shard-routed implementation and hand back the partitioned
+        # state flavour (its behaviour is pinned by test_pincremental).
+        from repro.core.islandizer_pincremental import (
+            PartitionedIncrementalState,
+            PartitionedIncrementalUpdate,
+        )
+
+        graph = random_graph(rng, 120, 5)
+        config = LocatorConfig(partitions=2, incremental=True)
+        result, state = record_islandization(graph, config)
+        assert isinstance(state, PartitionedIncrementalState)
+        result.validate()
+        delta = random_delta(rng, graph, 2, 2)
+        upd = update_islandization(
+            graph, result, state, delta, config, max_dirty_fraction=1.0
+        )
+        assert isinstance(upd, PartitionedIncrementalUpdate)
 
 
 # ----------------------------------------------------------------------
@@ -397,6 +411,26 @@ class TestBenchAndCLI:
         with pytest.raises(ConfigError):
             churn_delta(graph, np.random.default_rng(0), 1000, 16)
 
+    @pytest.mark.parametrize("k", [10, 200])
+    def test_churn_delta_vectorized_matches_oracle(self, k):
+        # The vectorized candidate extraction consumes the same batched
+        # draws as the original per-edit loop (oracle=True): identical
+        # generator state in, byte-identical delta out.
+        from repro.eval.bench_incremental import churn_delta
+
+        rng = np.random.default_rng(5)
+        graph = random_graph(rng, 600, 8)
+        for th0 in (4, 16):
+            vec = churn_delta(graph, np.random.default_rng(11), k, th0)
+            orc = churn_delta(
+                graph, np.random.default_rng(11), k, th0, oracle=True
+            )
+            for field in ("insert_src", "insert_dst",
+                          "delete_src", "delete_dst"):
+                a, b = getattr(vec, field), getattr(orc, field)
+                assert a.dtype == b.dtype
+                assert a.tobytes() == b.tobytes()
+
     def test_bench_smoke_record(self, tmp_path):
         from repro.eval.bench_incremental import run_incremental_bench
 
@@ -427,11 +461,11 @@ class TestBenchAndCLI:
         from repro.cli import main
 
         assert main(["bench", "incremental", "--partitions", "8"]) == 2
-        assert "only applies to the partition suite" in (
+        assert "only applies to the partition and pincr suites" in (
             capsys.readouterr().err
         )
         assert main(["bench", "locator", "--delta-seed", "3"]) == 2
-        assert "only applies to the incremental suite" in (
+        assert "only applies to the incremental and pincr suites" in (
             capsys.readouterr().err
         )
 

@@ -881,3 +881,63 @@ class TestDiskGC:
         assert main(["cache", "stats", "--dry-run",
                      "--cache-dir", str(tmp_path)]) == 2
         assert "only applies to cache gc" in capsys.readouterr().err
+
+
+class TestIndexLock:
+    """Cross-process gc/put race: the advisory ``.index.lock``."""
+
+    def test_put_creates_lockfile_and_sweeps_spare_it(self, tmp_path):
+        store = DiskStore(tmp_path / "store")
+        store.put("summary", "k", {"x": 1})
+        lock = store.root / ".index.lock"
+        assert lock.exists()
+        assert store.verify().clean          # not an orphan
+        report = store.gc()
+        assert report.removed == []
+        assert lock.exists()                 # gc holds it, never dooms it
+        assert store.entries()["summary"][0] == 1
+
+    def test_two_stores_interleaved_on_one_root(self, tmp_path):
+        # Two engine processes sharing one cache dir: puts from either
+        # side interleaved with the other side's gc must never strand
+        # or collect a just-published artifact.
+        root = tmp_path / "shared"
+        a, b = DiskStore(root), DiskStore(root)
+        for i in range(4):
+            a.put("summary", f"a{i}", {"from": "a", "i": i})
+            b.put("summary", f"b{i}", {"from": "b", "i": i})
+            report = (a if i % 2 else b).gc()
+            assert report.removed == []
+        assert a.gc(dry_run=True).removed == []
+        for i in range(4):
+            assert a.get("summary", f"b{i}") == {"from": "b", "i": i}
+            assert b.get("summary", f"a{i}") == {"from": "a", "i": i}
+        # One shared index saw every put exactly once.
+        assert a.gc().live == 8
+
+    def test_lock_excludes_concurrent_put(self, tmp_path):
+        # The actual race: a sweep scanning while another store
+        # publishes.  Holding the lock must block the other side's
+        # put (publish + index append) until release.
+        import threading
+        import time
+
+        fcntl = pytest.importorskip("fcntl")
+        del fcntl
+        root = tmp_path / "shared"
+        holder, writer = DiskStore(root), DiskStore(root)
+        holder.put("summary", "seed", {"x": 0})  # create the root + lock
+        done = threading.Event()
+
+        def blocked_put():
+            writer.put("summary", "raced", {"x": 1})
+            done.set()
+
+        with holder._index_lock():
+            t = threading.Thread(target=blocked_put)
+            t.start()
+            assert not done.wait(0.3)        # put is stuck on the lock
+        t.join(timeout=10)
+        assert done.is_set()                 # released -> put completed
+        assert writer.get("summary", "raced") == {"x": 1}
+        assert holder.gc().live == 2
