@@ -18,6 +18,9 @@ Commands
 ``experiments`` regenerate every paper table/figure (slow)
 ``cache``     inspect, clear, or size-evict the persistent artifact
               store
+``queue``     durable experiment queue (sweep-as-a-service): define a
+              grid once, drain it with any number of crash-tolerant
+              worker processes, inspect/retry/reap it
 ``docs``      regenerate generated documentation (``docs cli`` writes
               docs/cli.md from this parser; ``--check`` verifies it)
 
@@ -42,6 +45,9 @@ Examples
     python -m repro bench consumer --tiers 1e3 1e4
     python -m repro cache stats
     python -m repro cache evict --max-size 500M
+    python -m repro queue submit --db grid.sqlite --datasets cora citeseer
+    python -m repro queue work --db grid.sqlite &   # any number of these
+    python -m repro queue status --db grid.sqlite --format json
     python -m repro spy --dataset cora
 """
 
@@ -81,11 +87,14 @@ from repro.models import build_model
 from repro.runtime import (
     DiskStore,
     Engine,
+    ExperimentQueue,
     default_cache_dir,
+    default_queue_path,
     get_simulator,
     resolve_name,
     simulator_aliases,
     simulator_names,
+    work,
 )
 
 __all__ = ["main", "build_parser"]
@@ -212,7 +221,16 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--scale", type=float, default=None)
     swp.add_argument("--seed", type=int, default=7)
     swp.add_argument("--parallel", type=int, default=0,
-                     help="process-pool workers (0 = serial)")
+                     help="process-pool workers (0 = serial); with "
+                          "--queue, the number of local queue workers")
+    swp.add_argument("--queue", metavar="FILE", default=None,
+                     help="route the sweep through the durable "
+                          "experiment queue at FILE: the grid is "
+                          "submitted idempotently (a restart resumes, "
+                          "done cells are never re-run), --parallel "
+                          "local workers plus this process drain it, "
+                          "and the rows fold back identically to the "
+                          "in-process path")
     swp.add_argument("--format", choices=list(ROW_FORMATS), default="table",
                      help="row output format (default: table)")
     swp.add_argument("--output", metavar="FILE", default=None,
@@ -331,6 +349,84 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dry-run", action="store_true",
                        help="gc: report what would be removed without "
                             "deleting anything")
+    cache.add_argument("--force", action="store_true",
+                       help="gc: sweep even when the index lock cannot "
+                            "be held (fcntl unavailable, or a shared "
+                            "mount that rejects flock) — a concurrent "
+                            "writer could lose artifacts, so gc "
+                            "otherwise refuses the unlocked destructive "
+                            "sweep")
+
+    queue = sub.add_parser(
+        "queue",
+        help="durable experiment queue: crash-tolerant sweeps as a "
+             "service",
+    )
+    queue.add_argument("action",
+                       choices=["submit", "work", "status", "retry",
+                                "reap"],
+                       help="submit: define (or idempotently re-assert) "
+                            "a datasets x models x platforms grid of "
+                            "experiment cells; "
+                            "work: claim cells one at a time — "
+                            "heartbeating the lease, simulating through "
+                            "the shared artifact store — until the "
+                            "queue drains (run any number of these, on "
+                            "any host sharing the db and cache dir); "
+                            "status: per-status cell counts plus "
+                            "quarantined-error detail (exit 1 if any "
+                            "error cells); "
+                            "retry: requeue quarantined error cells "
+                            "with a fresh attempt budget; "
+                            "reap: requeue claimed cells whose lease "
+                            "expired (workers also reap on every claim)")
+    queue.add_argument("--db", metavar="FILE", default=None,
+                       help="queue database (default: $REPRO_QUEUE_DB "
+                            "if set, else ./.repro-queue.sqlite)")
+    queue.add_argument("--datasets", nargs="+", choices=dataset_names(),
+                       default=None,
+                       help="submit: datasets to grid (default: all "
+                            "five)")
+    queue.add_argument("--platforms", nargs="+", choices=platform_choices,
+                       default=None,
+                       help="submit: platforms to grid (default: igcn "
+                            "awb hygcn sigma)")
+    queue.add_argument("--models", nargs="+", default=None,
+                       help="submit: model specs, 'family' or "
+                            "'family:variant' (default: gcn)")
+    queue.add_argument("--variant", choices=["algo", "hy"], default="algo",
+                       help="submit: default variant for specs without "
+                            "one")
+    queue.add_argument("--scale", type=float, default=None,
+                       help="submit: node-count multiplier")
+    queue.add_argument("--seed", type=int, default=7,
+                       help="submit: dataset RNG seed")
+    queue.add_argument("--lease", type=float, default=None,
+                       help="claim lease in seconds: submit persists it "
+                            "as the queue-wide default; work overrides "
+                            "it for its own claims")
+    queue.add_argument("--max-attempts", type=int, default=None,
+                       help="submit: per-cell retry budget before a "
+                            "failing cell is quarantined as 'error' "
+                            "(queue-wide, default 3)")
+    queue.add_argument("--backoff", type=float, default=None,
+                       help="submit: base of the exponential retry "
+                            "backoff in seconds (queue-wide, default "
+                            "0.5)")
+    queue.add_argument("--max-cells", type=int, default=None,
+                       help="work: exit after this many cells instead "
+                            "of draining the queue")
+    queue.add_argument("--no-wait", action="store_true",
+                       help="work: exit as soon as no cell is claimable "
+                            "instead of outliving other workers' leases")
+    queue.add_argument("--timeout", type=float, default=None,
+                       help="work: wall-clock bound in seconds")
+    queue.add_argument("--format", choices=["table", "json"],
+                       default="table",
+                       help="status: output format (json prints the "
+                            "counts/expired/errors summary CI gates on)")
+    add_cache_arg(queue)
+    add_backend_arg(queue)
 
     docs = sub.add_parser(
         "docs", help="regenerate generated documentation"
@@ -528,6 +624,7 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         seed=args.seed,
         parallel=args.parallel or None,
+        queue=args.queue,
     )
     title = (
         f"sweep: {len(args.datasets)} datasets x {len(args.models)} models "
@@ -551,6 +648,15 @@ def _cmd_sweep(args) -> int:
     )
     stream = sys.stderr if (args.format != "table" and not args.output) else sys.stdout
     print(f"\n{stats_line}" if stream is sys.stdout else stats_line, file=stream)
+    # Fault-recovery events (a pool worker died, a queue worker exited
+    # nonzero) degrade performance, never correctness — the rows above
+    # are complete either way — but an operator should see them.
+    for note in engine.degradations:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in note.items() if key != "event"
+        )
+        print(f"degraded: {note['event']} ({detail}) — recovered, "
+              f"rows complete", file=stream)
     return 0
 
 
@@ -561,8 +667,10 @@ def _cmd_cache(args) -> int:
         raise ReproError("--repair only applies to cache verify")
     if args.dry_run and args.action != "gc":
         raise ReproError("--dry-run only applies to cache gc")
+    if args.force and args.action != "gc":
+        raise ReproError("--force only applies to cache gc")
     if args.action == "gc":
-        report = store.gc(dry_run=args.dry_run)
+        report = store.gc(dry_run=args.dry_run, force=args.force)
         verb = "would remove" if args.dry_run else "removed"
         adopted = "" if report.indexed else (
             " (no reachability index: conservative sweep"
@@ -615,6 +723,131 @@ def _cmd_cache(args) -> int:
     print(f"\ntotal: {sum(c for c, _ in entries.values())} artifacts, "
           f"{total / 1e6:.3f} MB")
     return 0
+
+
+#: Which ``repro queue`` flags each action consumes; anything set off
+#: its default for a non-consuming action raises instead of being
+#: silently ignored (same guard idiom as ``repro cache``/``bench``).
+_QUEUE_FLAG_ACTIONS = {
+    "datasets": ("submit",), "platforms": ("submit",),
+    "models": ("submit",), "variant": ("submit",), "scale": ("submit",),
+    "seed": ("submit",), "max_attempts": ("submit",),
+    "backoff": ("submit",), "locator_backend": ("submit",),
+    "partitions": ("submit",), "partition_strategy": ("submit",),
+    "consumer_backend": ("submit",), "pipeline": ("submit",),
+    "lease": ("submit", "work"), "cache_dir": ("submit", "work"),
+    "max_cells": ("work",), "no_wait": ("work",), "timeout": ("work",),
+    "format": ("status",),
+}
+
+_QUEUE_FLAG_DEFAULTS = {
+    "variant": "algo", "seed": 7, "locator_backend": "batched",
+    "partitions": 1, "partition_strategy": "separator",
+    "consumer_backend": "batched", "pipeline": "streamed",
+    "no_wait": False, "format": "table",
+}
+
+
+def _cmd_queue(args) -> int:
+    for flag, actions in _QUEUE_FLAG_ACTIONS.items():
+        if args.action in actions:
+            continue
+        if getattr(args, flag) != _QUEUE_FLAG_DEFAULTS.get(flag):
+            raise ReproError(
+                f"--{flag.replace('_', '-')} only applies to "
+                f"repro queue {'/'.join(actions)}"
+            )
+    path = args.db or default_queue_path()
+    if args.action != "submit" and not Path(path).exists():
+        # Opening would create an empty queue and e.g. `work` would
+        # "drain" it instantly — turn the typo into a clean error.
+        raise ReproError(
+            f"no queue database at {path} — run `repro queue submit` "
+            f"first (or pass the right --db)"
+        )
+
+    if args.action == "submit":
+        policy = {
+            key: value
+            for key, value in (("lease_s", args.lease),
+                               ("max_attempts", args.max_attempts),
+                               ("backoff_s", args.backoff))
+            if value is not None
+        }
+        with ExperimentQueue(path, **policy) as q:
+            report = q.submit(
+                args.datasets or list(dataset_names()),
+                args.platforms or ["igcn", "awb", "hygcn", "sigma"],
+                models=args.models or ["gcn"],
+                variant=args.variant,
+                scale=args.scale,
+                seed=args.seed,
+                locator=LocatorConfig(**_locator_kwargs(args)),
+                consumer=ConsumerConfig(backend=args.consumer_backend,
+                                        pipeline=args.pipeline),
+                cache_dir=_resolve_cache_dir(args),
+            )
+        print(f"queue {path}: grid of {len(report.cell_ids)} cells "
+              f"({report.added} added, {report.reused} already present)")
+        print("drain it with `repro queue work"
+              + (f" --db {args.db}`" if args.db else "`")
+              + " — as many of them as you like")
+        return 0
+
+    if args.action == "work":
+        report = work(
+            path,
+            cache_dir=_resolve_cache_dir(args),
+            lease_s=args.lease,
+            max_cells=args.max_cells,
+            wait=not args.no_wait,
+            timeout_s=args.timeout,
+        )
+        print(f"worker {report.owner}: {report.done} done, "
+              f"{report.failed} failed, {report.lost} lost leases")
+        return 0 if report.failed == 0 else 1
+
+    with ExperimentQueue(path) as q:
+        if args.action == "retry":
+            requeued = q.retry()
+            print(f"requeued {requeued} quarantined cell(s) with a "
+                  f"fresh attempt budget")
+            return 0
+        if args.action == "reap":
+            reaped = q.reap()
+            print(f"reaped {len(reaped)} expired lease(s)"
+                  + (f": cells {reaped}" if reaped else ""))
+            return 0
+        status = q.status()
+    if args.format == "json":
+        print(json.dumps({
+            "path": status.path,
+            "counts": status.counts,
+            "total": status.total,
+            "expired": status.expired,
+            "drained": status.drained,
+            "errors": status.errors,
+        }, indent=2))
+    else:
+        rows = [{"status": name, "cells": status.counts[name]}
+                for name in ("pending", "claimed", "done", "error")]
+        print(render_table(rows, title=f"queue at {status.path} "
+                                       f"({status.total} cells)"))
+        if status.expired:
+            print(f"\n{status.expired} claimed cell(s) past their lease "
+                  f"— the next claim (or `repro queue reap`) requeues "
+                  f"them")
+        for err in status.errors:
+            last = (err["error"] or "").strip().splitlines()
+            print(f"  quarantined cell {err['id']} "
+                  f"({err['dataset']}/{err['model']}/{err['platform']}, "
+                  f"{err['attempts']} attempts)"
+                  + (f": {last[-1]}" if last else ""))
+        if status.errors:
+            print("rerun them with `repro queue retry`")
+        elif status.drained:
+            print("\nqueue drained: every cell is done")
+    return 0 if status.counts["error"] == 0 else 1
 
 
 def _cmd_bench(args) -> int:
@@ -983,6 +1216,7 @@ def main(argv: list[str] | None = None) -> int:
         "spy": _cmd_spy,
         "experiments": _cmd_experiments,
         "cache": _cmd_cache,
+        "queue": _cmd_queue,
         "docs": _cmd_docs,
     }
     try:

@@ -22,10 +22,24 @@ through:
   persistent cache (``--cache-dir`` / ``REPRO_CACHE_DIR``), and the
   memory-over-disk stack the Engine composes them into so repeated
   CLI invocations and parallel sweep workers warm-start.
+* :class:`ExperimentQueue` / :func:`work` — the durable
+  sweep-as-a-service layer (``repro queue``): a SQLite-backed grid of
+  experiment cells with leases, retries and crash recovery, drained
+  by any number of worker processes sharing the disk store;
+  ``Engine.sweep(queue=...)`` folds it back into the identical rows.
 """
 
 from repro.report import SUMMARY_FIELDS, BaseReport
 from repro.runtime.engine import CacheStats, Engine, graph_fingerprint, sweep
+from repro.runtime.queue import (
+    ClaimedCell,
+    ExperimentQueue,
+    QueueStatus,
+    SubmitReport,
+    WorkReport,
+    default_queue_path,
+    work,
+)
 from repro.runtime.registry import (
     IGCNSimulator,
     Simulator,
@@ -56,6 +70,13 @@ __all__ = [
     "Engine",
     "graph_fingerprint",
     "sweep",
+    "ClaimedCell",
+    "ExperimentQueue",
+    "QueueStatus",
+    "SubmitReport",
+    "WorkReport",
+    "default_queue_path",
+    "work",
     "Simulator",
     "IGCNSimulator",
     "WrappedSimulator",

@@ -32,7 +32,10 @@ parallel runs too.  Row order is identical to the serial path.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Iterable, Sequence
 
 from repro.core.config import ConsumerConfig, LocatorConfig
@@ -149,6 +152,7 @@ class Engine:
         self.store = store if store is not None else build_store(self.cache_dir)
         self._stats: dict[str, CacheStats] = {n: CacheStats() for n in _CACHE_NAMES}
         self._fleets: dict[str, ShardFleet] = {}
+        self._degradations: list[dict[str, Any]] = []
 
     def close(self) -> None:
         """Shut down any warm shard fleets this engine spawned.
@@ -235,6 +239,20 @@ class Engine:
             stats = self._stats.setdefault(kind, CacheStats())
             stats.hits += hits
             stats.misses += misses
+
+    @property
+    def degradations(self) -> list[dict[str, Any]]:
+        """Fault-recovery events this engine absorbed (live view).
+
+        Each entry records one degradation a sweep survived instead of
+        failing — e.g. ``{"event": "broken_process_pool", ...}`` when a
+        pool worker died (OOM-killed, SIGKILLed) and the lost units
+        were re-run serially, or ``{"event": "queue_worker_exit", ...}``
+        when a driven queue worker exited abnormally and the
+        coordinator drained the remainder inline.  Empty on a clean
+        run; the CLI surfaces these next to :meth:`cache_stats`.
+        """
+        return self._degradations
 
     # ------------------------------------------------------------------
     # Cached artifacts
@@ -544,6 +562,7 @@ class Engine:
         scale: float | None = None,
         seed: int = 7,
         parallel: int | bool | None = None,
+        queue: Any | None = None,
     ) -> list[dict[str, object]]:
         """Batched cross-product sweep: datasets × models × platforms.
 
@@ -558,9 +577,34 @@ class Engine:
         over a process pool.  Workers share this engine's disk tier
         (when ``cache_dir`` is configured) and their cache hit/miss
         deltas are folded back into :meth:`cache_stats`.  Rows are
-        identical either way.
+        identical either way.  A worker death (OOM kill, SIGKILL) does
+        not lose the sweep: the broken pool's unfinished units are
+        re-run serially in this process and the event is recorded in
+        :attr:`degradations`.
+
+        ``queue`` — a path (or
+        :class:`~repro.runtime.queue.ExperimentQueue`) routes the sweep
+        through the durable experiment queue instead of an in-process
+        job list: the grid is submitted once (idempotently — a restart
+        resumes, ``done`` cells are never re-run), ``parallel`` local
+        worker processes drain it (plus an inline drain by this
+        process, which also finishes the grid if every worker dies),
+        and the table folds back into the identical rows.  Cells that
+        exhaust their retry budget raise, quoting the quarantined
+        errors.
         """
         platforms = [resolve_name(p) for p in platforms]
+        max_workers = None if parallel is True or not parallel else int(parallel)
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(
+                f"parallel must be a positive worker count (got {parallel})"
+            )
+        if queue is not None:
+            return self._sweep_queued(
+                queue, datasets, platforms, models, variant, scale, seed,
+                num_workers=(0 if not parallel else
+                             (max_workers or os.cpu_count() or 1)),
+            )
         worker_cache_dir = self._worker_cache_dir()
         jobs = [
             (
@@ -575,18 +619,93 @@ class Engine:
             for job in jobs:
                 rows.extend(self._sweep_unit(job))
             return rows
-        max_workers = None if parallel is True else int(parallel)
-        if max_workers is not None and max_workers < 1:
-            raise ConfigError(
-                f"parallel must be a positive worker count (got {parallel})"
-            )
+        chunks: list[tuple[list[dict[str, object]], dict] | None] = [None] * len(jobs)
+        lost: list[int] = []
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            chunks = list(pool.map(_sweep_worker, jobs))
+            futures = [pool.submit(_sweep_worker, job) for job in jobs]
+            for i, future in enumerate(futures):
+                try:
+                    chunks[i] = future.result()
+                except BrokenProcessPool:
+                    # A worker died (OOM killer, SIGKILL, segfault) and
+                    # took the pool with it.  Don't lose the sweep: the
+                    # unfinished units re-run serially below.
+                    lost.append(i)
+        if lost:
+            self._degradations.append({
+                "event": "broken_process_pool",
+                "lost_units": len(lost),
+                "total_units": len(jobs),
+            })
+            for i in lost:
+                chunks[i] = (self._sweep_unit(jobs[i]), {})
         rows = []
         for chunk, delta in chunks:
             rows.extend(chunk)
             self._merge_stats(delta)
         return rows
+
+    def _sweep_queued(
+        self,
+        queue: Any,
+        datasets: Sequence[str],
+        platforms: Sequence[str],
+        models: Sequence[str],
+        variant: str,
+        scale: float | None,
+        seed: int,
+        *,
+        num_workers: int,
+    ) -> list[dict[str, object]]:
+        """Run one sweep grid through the durable experiment queue.
+
+        Submit is idempotent, so re-running the same sweep against the
+        same queue (a coordinator restart) folds already-``done`` cells
+        straight from the table — zero re-simulation.  The inline drain
+        after the workers exit guarantees completion even if every
+        worker process is killed: this process claims whatever is left
+        (waiting out orphaned leases) exactly like any other worker.
+        """
+        # Local import: repro.runtime.queue imports Engine from here.
+        from repro.runtime.queue import ExperimentQueue, work
+
+        own = not isinstance(queue, ExperimentQueue)
+        q = ExperimentQueue(queue) if own else queue
+        try:
+            cache_dir = self._worker_cache_dir()
+            submitted = q.submit(
+                datasets, platforms, models=models, variant=variant,
+                scale=scale, seed=seed, locator=self.locator_config,
+                consumer=self.consumer_config, cache_dir=cache_dir,
+            )
+            if num_workers:
+                ctx = multiprocessing.get_context()
+                procs = [
+                    ctx.Process(
+                        target=work, args=(q.path,),
+                        kwargs={"cache_dir": cache_dir}, daemon=True,
+                    )
+                    for _ in range(num_workers)
+                ]
+                for proc in procs:
+                    proc.start()
+                for proc in procs:
+                    proc.join()
+                died = sum(1 for proc in procs if proc.exitcode != 0)
+                if died:
+                    self._degradations.append({
+                        "event": "queue_worker_exit",
+                        "workers_died": died,
+                        "workers_total": num_workers,
+                    })
+            # Inline drain: serial sweeps run the whole grid here (on
+            # this engine, sharing its memory tier like a plain serial
+            # sweep); parallel sweeps use it as the crash backstop.
+            work(q.path, cache_dir=cache_dir, engine=self)
+            return q.results(submitted.cell_ids)
+        finally:
+            if own:
+                q.close()
 
     def _sweep_unit(self, job: tuple) -> list[dict[str, object]]:
         """All platform rows of one (dataset, model) sweep cell."""
@@ -635,7 +754,16 @@ def _sweep_worker(
     Returns the unit's rows plus the engine's cache-stats *delta* for
     the unit, so the coordinating engine can aggregate hit/miss
     counters across workers.
+
+    Fault injection: ``_REPRO_KILL_SWEEP_WORKER=<dataset>`` SIGKILLs
+    the pool worker that picks up that dataset's unit — only here, in
+    pool workers, so the coordinator's serial recovery path survives.
+    The crash tests use it to break the pool deterministically.
     """
+    if os.environ.get("_REPRO_KILL_SWEEP_WORKER") == job[0]:
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
     locator, consumer, cache_dir = job[-3], job[-2], job[-1]
     engine = _WORKER_ENGINES.get((locator, consumer, cache_dir))
     if engine is None:

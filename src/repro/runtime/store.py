@@ -34,6 +34,7 @@ import json
 import os
 import shutil
 import tempfile
+import warnings
 
 try:
     import fcntl
@@ -333,22 +334,30 @@ class DiskStore(ArtifactStore):
     def _index_lock(self):
         """Advisory cross-process lock over index writes and gc sweeps.
 
-        ``fcntl.flock`` on ``<root>/.index.lock`` — advisory like the
-        index itself: platforms without ``fcntl``, unwritable roots and
-        pre-lock readers all degrade to the old unserialised behaviour
-        instead of failing the operation.
+        ``fcntl.flock`` on ``<root>/.index.lock``.  Yields whether the
+        lock is actually held: platforms without ``fcntl``, unwritable
+        roots, flock-less filesystems (some network mounts) and
+        pre-lock readers all yield ``False`` and degrade to the old
+        unserialised behaviour instead of failing the operation —
+        put() accepts that (the forfeit is one cache entry), while the
+        *destructive* gc sweep refuses to run unlocked (see
+        :meth:`gc`).
         """
         if fcntl is None or not self.root.is_dir():
-            yield
+            yield False
             return
         try:
             fh = open(self.root / self._LOCK_NAME, "a+b")
         except OSError:
-            yield
+            yield False
             return
         try:
-            fcntl.flock(fh, fcntl.LOCK_EX)
-            yield
+            try:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            except OSError:
+                yield False
+                return
+            yield True
         finally:
             with contextlib.suppress(OSError):
                 fcntl.flock(fh, fcntl.LOCK_UN)
@@ -369,17 +378,66 @@ class DiskStore(ArtifactStore):
             pass
 
     def _read_index(self) -> set[str] | None:
-        """Current-version ``kind/name`` entries, or None if no index."""
+        """Current-version ``kind/name`` entries, or None if no index.
+
+        Crash-tolerant: a writer SIGKILLed mid-append (or a torn page
+        on a shared mount) leaves a truncated or garbled trailing line.
+        Such lines are *skipped with a warning* — never an abort — so
+        gc keeps working against the readable remainder; the next
+        non-dry-run gc compacts the garbage away.  The skipped line's
+        artifact (if its line was the one torn) is forfeited to the
+        sweep — the same single-entry forfeit put() itself accepts on
+        lockless stores.
+        """
+        path = self._index_path()
         try:
-            text = self._index_path().read_text()
+            data = path.read_bytes()
         except OSError:
             return None
+        entries: set[str] = set()
+        corrupt = 0
         prefix = f"v{self.VERSION} "
-        return {
-            line[len(prefix):]
-            for line in text.splitlines()
-            if line.startswith(prefix)
-        }
+        for raw in data.split(b"\n"):
+            if not raw:
+                continue
+            try:
+                line = raw.decode("ascii")
+            except UnicodeDecodeError:
+                corrupt += 1
+                continue
+            if not self._valid_index_line(line):
+                corrupt += 1
+                continue
+            if line.startswith(prefix):
+                entries.add(line[len(prefix):])
+        if corrupt:
+            warnings.warn(
+                f"{path}: skipped {corrupt} corrupt index line(s) — "
+                f"likely a writer crashed mid-append; gc will compact "
+                f"the index",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return entries
+
+    def _valid_index_line(self, line: str) -> bool:
+        """Whether one index line has the shape ``_index_add`` writes.
+
+        Current-version lines are checked strictly (known kind, a
+        filename put() would produce); other-version lines — legacy
+        content a later gc is entitled to ignore — only for shape.
+        """
+        head, sep, rest = line.partition(" ")
+        if not sep or not head.startswith("v") or not head[1:].isdigit():
+            return False
+        kind, sep2, name = rest.partition("/")
+        if not sep2 or not kind or not name or "/" in name:
+            return False
+        if int(head[1:]) != self.VERSION:
+            return True
+        if kind not in self.CODECS:
+            return False
+        return self._well_named(Path(name), self.CODECS[kind][0])
 
     @staticmethod
     def _artifact_files(directory: Path) -> list[Path]:
@@ -499,7 +557,7 @@ class DiskStore(ArtifactStore):
             return False
         return True
 
-    def gc(self, *, dry_run: bool = False) -> "GCReport":
+    def gc(self, *, dry_run: bool = False, force: bool = False) -> "GCReport":
         """Collect unreachable files from the cache directory.
 
         :meth:`verify` judges files by *shape* (name, place, decodes);
@@ -527,12 +585,36 @@ class DiskStore(ArtifactStore):
         concurrent writer's put (which publishes file + index line
         under the same lock) lands entirely before the walk or
         entirely after the rewrite; on shared mounts neither side can
-        strand the other's artifacts.  Without ``fcntl`` the old
-        best-effort ordering applies: the narrow window between file
-        rename and index append can cost that one cache entry — the
-        same forfeit put() itself accepts.
+        strand the other's artifacts.  When the lock *cannot* be held
+        (``fcntl`` missing on this platform, or a filesystem that
+        rejects ``flock`` — common on network mounts) a destructive
+        sweep could strand a live writer's artifacts, so gc **refuses**
+        with :class:`~repro.errors.ConfigError` unless the caller
+        passes ``dry_run=True`` (read-only, always safe) or
+        ``force=True`` (explicitly accepting the unlocked race; only
+        sensible when no other writer shares the root).
         """
-        with self._index_lock():
+        if not self.root.is_dir():
+            # Nothing to sweep and nothing to race: empty report,
+            # no lock needed (the lockfile would have to be created
+            # under a root that doesn't exist).
+            return self._gc_locked(dry_run=dry_run)
+        with self._index_lock() as locked:
+            if not locked and not (dry_run or force):
+                why = (
+                    "the fcntl module is unavailable on this platform"
+                    if fcntl is None else
+                    f"the index lock at {self.root / self._LOCK_NAME} "
+                    f"could not be acquired (unsupported or shared "
+                    f"filesystem?)"
+                )
+                raise ConfigError(
+                    f"refusing destructive gc of {self.root}: {why}. "
+                    f"A concurrent writer could lose artifacts. "
+                    f"Re-run with dry_run (repro cache gc --dry-run) "
+                    f"to preview, or force=True (--force) if no other "
+                    f"process writes to this cache."
+                )
             return self._gc_locked(dry_run=dry_run)
 
     def _gc_locked(self, *, dry_run: bool) -> "GCReport":

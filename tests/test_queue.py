@@ -1,0 +1,408 @@
+"""Durable experiment queue: leases, retries, crash recovery, folding.
+
+The contract under test (ISSUE 9 acceptance): with any number of
+workers on one queue, SIGKILLing a worker mid-cell leaves no stuck
+cells — the reaper reclaims the lease, the cell is retried, and the
+folded rows are byte-identical to a serial in-process ``Engine.sweep``
+of the same grid; a coordinator restart resumes without re-running
+``done`` cells.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core import ConsumerConfig, LocatorConfig
+from repro.errors import ConfigError, SimulationError
+from repro.runtime import Engine, ExperimentQueue, work
+from repro.runtime import queue as queue_mod
+
+DATASETS = ("cora", "citeseer")
+PLATFORMS = ("igcn", "awb")
+GRID = {"scale": 0.15, "seed": 3}
+
+
+def submit_grid(queue, **kw):
+    return queue.submit(DATASETS, PLATFORMS, **{**GRID, **kw})
+
+
+def serial_rows():
+    return Engine().sweep(DATASETS, PLATFORMS, **GRID)
+
+
+class TestSubmit:
+    def test_idempotent_resubmit(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            first = submit_grid(q)
+            again = submit_grid(q)
+        assert first.added == 4 and first.reused == 0
+        assert again.added == 0 and again.reused == 4
+        assert again.cell_ids == first.cell_ids
+
+    def test_cell_ids_in_sweep_order(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            report = submit_grid(q)
+            cells = [q.claim("o") for _ in report.cell_ids]
+        # Claim order == ordinal order == dataset-major sweep order.
+        assert [(c.dataset, c.platform) for c in cells] == [
+            ("cora", "igcn"), ("cora", "awb"),
+            ("citeseer", "igcn"), ("citeseer", "awb"),
+        ]
+
+    def test_platform_aliases_resolve(self, tmp_path):
+        # "awb-gcn" (the printed name) and "awb" are one cell, not two.
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            first = q.submit(("cora",), ("awb",), **GRID)
+            alias = q.submit(("cora",), ("awb-gcn",), **GRID)
+        assert alias.cell_ids == first.cell_ids and alias.added == 0
+
+    def test_distinct_configs_make_distinct_cells(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            base = submit_grid(q)
+            other = submit_grid(q, locator=LocatorConfig(c_max=32))
+        assert other.added == 4
+        assert not set(other.cell_ids) & set(base.cell_ids)
+
+    def test_policy_persists_across_opens(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with ExperimentQueue(path, lease_s=5.0, max_attempts=7,
+                             backoff_s=0.25):
+            pass
+        with ExperimentQueue(path) as q:
+            assert q.lease_s == 5.0
+            assert q.max_attempts == 7
+            assert q.backoff_s == 0.25
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ExperimentQueue(tmp_path / "q.sqlite", lease_s=0)
+
+
+class TestLeaseStateMachine:
+    """Pure queue mechanics — explicit clocks, no simulation."""
+
+    def test_claim_exhaustion(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            submit_grid(q)
+            assert all(q.claim("o") is not None for _ in range(4))
+            assert q.claim("o") is None
+
+    def test_complete_roundtrip(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite") as q:
+            ids = q.submit(("cora",), ("igcn",), **GRID).cell_ids
+            cell = q.claim("o")
+            assert q.complete(cell.id, "o", {"latency_us": 1.5})
+            assert q.counts() == {"pending": 0, "claimed": 0,
+                                  "done": 1, "error": 0}
+            assert q.results(ids) == [{"latency_us": 1.5}]
+            assert q.status().drained
+
+    def test_heartbeat_extends_and_fences(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite", lease_s=10.0) as q:
+            submit_grid(q)
+            cell = q.claim("alice", now=0.0)
+            assert q.heartbeat(cell.id, "alice", now=8.0)
+            # The extended lease survives the old deadline...
+            assert q.reap(now=11.0) == []
+            # ...and a stranger can neither beat nor complete it.
+            assert not q.heartbeat(cell.id, "mallory", now=12.0)
+            assert not q.complete(cell.id, "mallory", {})
+
+    def test_expired_lease_reaped_and_stale_owner_fenced(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite", lease_s=10.0) as q:
+            submit_grid(q)
+            cell = q.claim("alice", now=0.0)
+            assert q.reap(now=5.0) == []          # still leased
+            assert q.reap(now=11.0) == [cell.id]  # expired: requeued
+            status = q.status()
+            assert status.counts["pending"] == 4
+            # The reap cost an attempt and recorded why.
+            row = q._conn.execute(
+                "SELECT attempts, error FROM cells WHERE id=?", (cell.id,)
+            ).fetchone()
+            assert row["attempts"] == 1
+            assert "lease expired" in row["error"]
+            # Alice wakes up late: her writes bounce off the fence.
+            assert not q.complete(cell.id, "alice", {"stale": True})
+            assert q.fail(cell.id, "alice", "late failure") is None
+
+    def test_claim_reaps_first(self, tmp_path):
+        # Every claimant doubles as the reaper: no daemon required.
+        with ExperimentQueue(tmp_path / "q.sqlite", backoff_s=0.5) as q:
+            q.submit(("cora",), ("igcn",), **GRID)
+            dead = q.claim("victim", lease_s=5.0, now=0.0)
+            # First claim past the deadline reaps (backoff applies)...
+            assert q.claim("heir", now=100.0) is None
+            # ...and once the backoff elapses the heir gets the cell.
+            cell = q.claim("heir", now=101.0)
+        assert cell is not None and cell.id == dead.id
+        assert cell.attempts == 1
+
+    def test_concurrent_claimants_one_winner(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with ExperimentQueue(path) as q:
+            q.submit(("cora",), ("igcn",), **GRID)
+        barrier = threading.Barrier(8)
+        wins: list[object] = []
+
+        def racer(i):
+            with ExperimentQueue(path) as q:
+                barrier.wait()
+                cell = q.claim(f"racer-{i}")
+                if cell is not None:
+                    wins.append(cell)
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+    def test_retry_budget_backoff_then_quarantine(self, tmp_path):
+        with ExperimentQueue(tmp_path / "q.sqlite", max_attempts=2,
+                             backoff_s=100.0) as q:
+            ids = q.submit(("cora",), ("igcn",), **GRID).cell_ids
+            cell = q.claim("o", now=0.0)
+            assert q.fail(cell.id, "o", "boom #1", now=0.0) == "pending"
+            # Exponential backoff: not claimable before 100 s.
+            assert q.claim("o", now=50.0) is None
+            cell = q.claim("o", now=150.0)
+            assert cell.attempts == 1
+            # Budget spent: quarantined, error text preserved.
+            assert q.fail(cell.id, "o", "boom #2", now=150.0) == "error"
+            assert q.claim("o", now=1e6) is None
+            status = q.status()
+            assert status.counts["error"] == 1
+            assert "boom #2" in status.errors[0]["error"]
+            # Folding never silently drops a quarantined cell.
+            with pytest.raises(SimulationError, match="boom #2"):
+                q.results(ids)
+            # Operator retry: fresh budget, error kept until resolved.
+            assert q.retry() == 1
+            cell = q.claim("o", now=1e6)
+            assert cell is not None and cell.attempts == 0
+
+
+class TestWorkLoop:
+    def test_serial_queue_sweep_matches_inprocess(self, tmp_path):
+        db = tmp_path / "q.sqlite"
+        with ExperimentQueue(db) as q:
+            ids = submit_grid(q).cell_ids
+        report = work(db, cache_dir=str(tmp_path / "cache"))
+        assert report.done == 4 and report.failed == 0
+        with ExperimentQueue(db) as q:
+            rows = q.results(ids)
+        # Byte-identical fold: same rows, same key order, same JSON.
+        assert json.dumps(rows) == json.dumps(serial_rows())
+
+    def test_worker_uses_submitted_configs(self, tmp_path):
+        # The worker rebuilds the exact (locator, consumer) pair the
+        # grid was submitted with — not defaults.
+        db = tmp_path / "q.sqlite"
+        locator = LocatorConfig(c_max=32)
+        consumer = ConsumerConfig(preagg_k=4)
+        with ExperimentQueue(db) as q:
+            ids = q.submit(("cora",), ("igcn",), locator=locator,
+                           consumer=consumer, **GRID).cell_ids
+        work(db)
+        with ExperimentQueue(db) as q:
+            rows = q.results(ids)
+        expected = Engine(locator=locator, consumer=consumer).sweep(
+            ("cora",), ("igcn",), **GRID
+        )
+        assert json.dumps(rows) == json.dumps(expected)
+
+    def test_failing_cells_quarantined_then_retryable(
+        self, tmp_path, monkeypatch
+    ):
+        db = tmp_path / "q.sqlite"
+        with ExperimentQueue(db, max_attempts=2, backoff_s=0.01) as q:
+            ids = submit_grid(q).cell_ids
+
+        real = queue_mod._execute_cell
+
+        def flaky(engine, cell):
+            if cell.dataset == "citeseer":
+                raise RuntimeError("injected failure")
+            return real(engine, cell)
+
+        monkeypatch.setattr(queue_mod, "_execute_cell", flaky)
+        report = work(db, poll_s=0.01)
+        assert report.done == 2 and report.failed == 4  # 2 cells x 2 tries
+        with ExperimentQueue(db) as q:
+            status = q.status()
+            assert status.counts == {"pending": 0, "claimed": 0,
+                                     "done": 2, "error": 2}
+            assert all("injected failure" in e["error"]
+                       for e in status.errors)
+            with pytest.raises(SimulationError, match="injected failure"):
+                q.results(ids)
+            assert q.retry() == 2
+        monkeypatch.setattr(queue_mod, "_execute_cell", real)
+        work(db, poll_s=0.01)
+        with ExperimentQueue(db) as q:
+            assert json.dumps(q.results(ids)) == json.dumps(serial_rows())
+
+    def test_max_cells_and_no_wait(self, tmp_path):
+        db = tmp_path / "q.sqlite"
+        with ExperimentQueue(db) as q:
+            submit_grid(q)
+        assert work(db, max_cells=1).done == 1
+        assert work(db, max_cells=3, wait=False).done == 3
+        with ExperimentQueue(db) as q:
+            assert q.status().drained
+
+
+class TestCrashRecovery:
+    def _await_claim(self, db, timeout=30.0):
+        with ExperimentQueue(db) as q:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if q.counts()["claimed"]:
+                    return
+                time.sleep(0.05)
+        pytest.fail("victim worker never claimed a cell")
+
+    def test_sigkilled_worker_cell_is_retried_and_rows_identical(
+        self, tmp_path
+    ):
+        # The acceptance scenario: a worker dies mid-cell (SIGKILL, no
+        # cleanup); the reaper reclaims its lease, a healthy worker
+        # retries the cell, and the folded rows are byte-identical to
+        # the serial in-process sweep.
+        db = tmp_path / "q.sqlite"
+        expected = serial_rows()
+        with ExperimentQueue(db, lease_s=1.0, max_attempts=5) as q:
+            ids = submit_grid(q, cache_dir=str(tmp_path / "cache")).cell_ids
+        victim = multiprocessing.get_context().Process(
+            target=work, args=(str(db),),
+            kwargs={"cell_delay": 60.0, "lease_s": 1.0}, daemon=True,
+        )
+        victim.start()
+        self._await_claim(db)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+
+        report = work(db, lease_s=1.0, poll_s=0.05)
+        assert report.done == 4
+        with ExperimentQueue(db) as q:
+            status = q.status()
+            assert status.drained and status.counts["error"] == 0
+            rows = q.results(ids)
+        assert json.dumps(rows) == json.dumps(expected)
+        # The kill is on the record: the reaped cell kept its attempt.
+        conn = sqlite3.connect(db)
+        try:
+            (worst,) = conn.execute(
+                "SELECT MAX(attempts) FROM cells"
+            ).fetchone()
+        finally:
+            conn.close()
+        assert worst >= 1
+
+    def test_engine_queue_sweep_parallel_matches_serial(self, tmp_path):
+        engine = Engine(cache_dir=str(tmp_path / "cache"))
+        rows = engine.sweep(DATASETS, PLATFORMS, **GRID,
+                            queue=tmp_path / "q.sqlite", parallel=2)
+        assert json.dumps(rows) == json.dumps(serial_rows())
+
+    def test_coordinator_restart_resumes_without_resimulating(
+        self, tmp_path
+    ):
+        db = tmp_path / "q.sqlite"
+        cache = str(tmp_path / "cache")
+        first = Engine(cache_dir=cache).sweep(DATASETS, PLATFORMS,
+                                              **GRID, queue=db)
+        resumed_engine = Engine(cache_dir=cache)
+        resumed = resumed_engine.sweep(DATASETS, PLATFORMS, **GRID,
+                                       queue=db)
+        assert json.dumps(resumed) == json.dumps(first)
+        # Every cell was already done: the restart folded straight from
+        # the table — zero simulations, zero islandizations, anywhere.
+        stats = resumed_engine.cache_stats()
+        assert stats["islandization"].total == 0
+        assert stats["summary"].total == 0
+
+
+class TestQueueCLI:
+    ARGS = ["--datasets", "cora", "--platforms", "igcn",
+            "--scale", "0.15", "--seed", "3"]
+
+    def test_submit_work_status_roundtrip(self, tmp_path, capsys):
+        db = str(tmp_path / "q.sqlite")
+        assert main(["queue", "submit", "--db", db, *self.ARGS]) == 0
+        assert "grid of 1 cells (1 added" in capsys.readouterr().out
+
+        assert main(["queue", "submit", "--db", db, *self.ARGS]) == 0
+        assert "0 added, 1 already present" in capsys.readouterr().out
+
+        assert main(["queue", "work", "--db", db,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "1 done, 0 failed" in capsys.readouterr().out
+
+        assert main(["queue", "status", "--db", db]) == 0
+        assert "queue drained" in capsys.readouterr().out
+
+        assert main(["queue", "status", "--db", db,
+                     "--format", "json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["drained"] and status["counts"]["done"] == 1
+
+        assert main(["queue", "retry", "--db", db]) == 0
+        assert "requeued 0" in capsys.readouterr().out
+        assert main(["queue", "reap", "--db", db]) == 0
+        assert "reaped 0" in capsys.readouterr().out
+
+    def test_status_exits_nonzero_on_quarantined_cells(
+        self, tmp_path, capsys
+    ):
+        db = tmp_path / "q.sqlite"
+        with ExperimentQueue(db, max_attempts=1) as q:
+            q.submit(("cora",), ("igcn",), **GRID)
+            cell = q.claim("o")
+            q.fail(cell.id, "o", "injected")
+        assert main(["queue", "status", "--db", str(db)]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined cell" in out and "injected" in out
+
+    def test_missing_db_is_a_clean_error(self, tmp_path, capsys):
+        db = str(tmp_path / "absent.sqlite")
+        for action in ("work", "status", "retry", "reap"):
+            assert main(["queue", action, "--db", db]) == 2
+            assert "no queue database" in capsys.readouterr().err
+
+    def test_flags_guarded_per_action(self, tmp_path, capsys):
+        db = str(tmp_path / "q.sqlite")
+        assert main(["queue", "submit", "--db", db, *self.ARGS]) == 0
+        capsys.readouterr()
+        for argv, flag in (
+            (["queue", "status", "--db", db, "--max-cells", "2"],
+             "--max-cells"),
+            (["queue", "work", "--db", db, "--format", "json"],
+             "--format"),
+            (["queue", "reap", "--db", db, "--datasets", "cora"],
+             "--datasets"),
+        ):
+            assert main(argv) == 2
+            assert f"{flag} only applies" in capsys.readouterr().err
+
+    def test_sweep_queue_flag(self, tmp_path, capsys):
+        db = str(tmp_path / "q.sqlite")
+        assert main(["sweep", "--datasets", "cora", "--platforms", "igcn",
+                     "--scale", "0.15", "--seed", "3", "--queue", db,
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "igcn" in out
+        status = ExperimentQueue(db).status()
+        assert status.drained and status.counts["done"] == 1

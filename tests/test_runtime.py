@@ -275,6 +275,28 @@ class TestSweep:
         with pytest.raises(ConfigError, match="positive worker count"):
             Engine().sweep(("cora",), ("igcn",), scale=0.15, parallel=-1)
 
+    def test_worker_death_does_not_lose_the_sweep(self, monkeypatch):
+        # A SIGKILLed pool worker (the OOM killer's signature) breaks
+        # the whole ProcessPoolExecutor.  The sweep must recover: the
+        # lost units re-run serially, the rows come back identical, and
+        # the degradation is on the record.
+        serial = Engine().sweep(self.DATASETS, self.PLATFORMS,
+                                scale=0.15, seed=3)
+        monkeypatch.setenv("_REPRO_KILL_SWEEP_WORKER", "citeseer")
+        engine = Engine()
+        rows = engine.sweep(self.DATASETS, self.PLATFORMS,
+                            scale=0.15, seed=3, parallel=2)
+        assert rows == serial
+        assert len(engine.degradations) == 1
+        event = engine.degradations[0]
+        assert event["event"] == "broken_process_pool"
+        assert 1 <= event["lost_units"] <= event["total_units"] == 2
+
+    def test_healthy_sweep_records_no_degradation(self):
+        engine = Engine()
+        engine.sweep(("cora",), ("igcn",), scale=0.15, seed=3, parallel=2)
+        assert engine.degradations == []
+
 
 class TestDegenerateGraphs:
     """0-node and 0-edge graphs must simulate cleanly on every platform."""

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import io
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -941,3 +942,123 @@ class TestIndexLock:
         assert done.is_set()                 # released -> put completed
         assert writer.get("summary", "raced") == {"x": 1}
         assert holder.gc().live == 2
+
+
+class TestIndexCrashTolerance:
+    """A crashed writer's torn index line degrades, never aborts."""
+
+    @pytest.fixture
+    def seeded(self, tmp_path):
+        store = DiskStore(tmp_path / "store")
+        store.put("summary", "a", {"x": 1})
+        store.put("summary", "b", {"x": 2})
+        return store
+
+    def test_garbled_bytes_skipped_with_warning(self, seeded):
+        with open(seeded.root / "index.log", "ab") as fh:
+            fh.write(b"\xff\xfe not even text\n")
+        with pytest.warns(RuntimeWarning, match="corrupt index line"):
+            report = seeded.gc(dry_run=True)
+        assert report.live == 2 and report.removed == []
+
+    def test_truncated_trailing_line_skipped(self, seeded):
+        # SIGKILL mid-append: the last line is cut short.  It no longer
+        # vouches for its artifact (gc forfeits that one entry, exactly
+        # like the lockless put race) but the rest of the index — and
+        # gc itself — must survive.
+        index = seeded.root / "index.log"
+        data = index.read_bytes()
+        index.write_bytes(data[: len(data) - 8])
+        with pytest.warns(RuntimeWarning, match="corrupt index line"):
+            report = seeded.gc()
+        assert report.live == 1 and report.removed_count == 1
+        assert seeded.get("summary", "a") == {"x": 1}
+        # The compaction healed the index: no warning the second time.
+        assert seeded.gc().live == 1
+
+    def test_compaction_heals_the_index(self, seeded):
+        with open(seeded.root / "index.log", "ab") as fh:
+            fh.write(b"\xffgarbage")
+        with pytest.warns(RuntimeWarning):
+            seeded.gc()
+        report = seeded.gc()  # would re-warn if garbage survived
+        assert report.live == 2
+
+    def test_wrong_shape_lines_skipped(self, seeded):
+        with open(seeded.root / "index.log", "a") as fh:
+            fh.write("no-version-prefix summary/x.json\n")
+            fh.write(f"v{DiskStore.VERSION} nonsense-without-slash\n")
+            fh.write(f"v{DiskStore.VERSION} summary/not-a-digest.json\n")
+        with pytest.warns(RuntimeWarning, match="skipped 3 corrupt"):
+            report = seeded.gc(dry_run=True)
+        assert report.live == 2
+
+    def test_old_version_lines_are_not_corruption(self, seeded):
+        # Legacy lines are ignorable history, not damage: no warning.
+        with open(seeded.root / "index.log", "a") as fh:
+            fh.write("v0 summary/aaaa.json\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = seeded.gc(dry_run=True)
+        assert report.live == 2
+
+    def test_cache_gc_cli_survives_corruption(self, seeded, capsys):
+        from repro.cli import main
+
+        with open(seeded.root / "index.log", "ab") as fh:
+            fh.write(b"\xff\xfe torn\n")
+        with pytest.warns(RuntimeWarning):
+            assert main(["cache", "gc", "--cache-dir",
+                         str(seeded.root)]) == 0
+        assert "2 reachable artifacts" in capsys.readouterr().out
+
+
+class TestGCLockRefusal:
+    """Destructive gc without the advisory lock refuses, not sweeps."""
+
+    @pytest.fixture
+    def lockless(self, tmp_path, monkeypatch):
+        import repro.runtime.store as store_mod
+
+        monkeypatch.setattr(store_mod, "fcntl", None)
+        store = DiskStore(tmp_path / "store")
+        store.put("summary", "k", {"x": 1})
+        return store
+
+    def test_destructive_sweep_refused(self, lockless):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="refusing destructive gc"):
+            lockless.gc()
+        assert lockless.get("summary", "k") == {"x": 1}
+
+    def test_dry_run_and_force_still_work(self, lockless):
+        assert lockless.gc(dry_run=True).live == 1
+        report = lockless.gc(force=True)
+        assert report.live == 1 and not report.dry_run
+
+    def test_missing_root_never_refuses(self, tmp_path, monkeypatch):
+        import repro.runtime.store as store_mod
+
+        monkeypatch.setattr(store_mod, "fcntl", None)
+        report = DiskStore(tmp_path / "absent").gc()
+        assert report.live == 0
+
+    def test_cli_refusal_and_force(self, lockless, capsys):
+        from repro.cli import main
+
+        argv = ["cache", "gc", "--cache-dir", str(lockless.root)]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "refusing destructive gc" in err and "--force" in err
+        assert main(argv + ["--dry-run"]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--force"]) == 0
+        assert "1 reachable artifacts" in capsys.readouterr().out
+
+    def test_force_flag_needs_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--force",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "only applies to cache gc" in capsys.readouterr().err
