@@ -65,6 +65,7 @@ from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig
 from repro.errors import ReproError, SimulationError
 from repro.eval import render_rows, render_table, spy
 from repro.eval.bench_consumer import run_consumer_bench
+from repro.eval.bench_event import run_event_bench
 from repro.eval.bench_incremental import DELTA_TIERS, run_incremental_bench
 from repro.eval.bench_locator import BENCH_TIERS, run_locator_bench
 from repro.eval.bench_partition import PARTITION_TIERS, run_partition_bench
@@ -156,14 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "multi-island kernel (default) or the scalar "
                             "per-island oracle loop; counts, traffic and "
                             "outputs are identical, only speed differs")
-        p.add_argument("--pipeline", choices=["streamed", "staged"],
+        p.add_argument("--pipeline", choices=["streamed", "staged", "event"],
                        default="streamed",
                        help="locator/consumer execution mode: 'streamed' "
                             "(default) consumes islands per locator round "
                             "as they form and reports overlapped cycles "
                             "(the paper's Fig. 3); 'staged' runs the two "
-                            "phases back-to-back; counts, traffic and "
-                            "outputs are identical, only the cycle model "
+                            "phases back-to-back; 'event' refines the "
+                            "streamed model to a discrete-event simulation "
+                            "(per-island release, PE contention, ring/PRC "
+                            "arbitration) and adds per-island p50/p99 "
+                            "latency; counts, traffic and outputs are "
+                            "identical in every mode, only the cycle model "
                             "differs")
 
     # Accept aliases too, so platform names printed by compare/sweep
@@ -182,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--functional", action="store_true",
                      help="execute real math and verify vs reference "
                           "(igcn only)")
+    run.add_argument("--validate", action="store_true",
+                     help="replay the event trace through the conformance "
+                          "validator after the run (requires --pipeline "
+                          "event): causality, PE exclusivity, port "
+                          "capacity, cache occupancy and work conservation")
     add_cache_arg(run)
     add_backend_arg(run)
 
@@ -242,12 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="performance benchmarks (backends and pipeline modes)"
     )
     bench.add_argument("suite",
-                       choices=["locator", "consumer", "pipeline",
+                       choices=["locator", "consumer", "pipeline", "event",
                                 "partition", "incremental", "pincr"],
                        help="benchmark suite to run: locator/consumer time "
                             "scalar vs batched backends, pipeline times "
                             "staged vs streamed execution and records the "
-                            "modelled overlap win, partition times "
+                            "modelled overlap win, event runs the "
+                            "discrete-event pipeline against its "
+                            "streamed/staged sandwich bounds and records "
+                            "per-island p50/p99 latency, partition times "
                             "monolithic vs sharded islandization in fresh "
                             "processes and records peak RSS plus the "
                             "quality delta, incremental times delta-driven "
@@ -479,6 +492,11 @@ def _cmd_run(args) -> int:
     platform = resolve_name(args.platform)
     if args.functional and platform != "igcn":
         raise SimulationError("--functional is only supported on igcn")
+    if args.validate and (platform != "igcn" or args.pipeline != "event"):
+        raise SimulationError(
+            "--validate replays an event trace and requires "
+            "--platform igcn --pipeline event"
+        )
     if platform != "igcn" and (
         args.cmax != _DEFAULT_CMAX or args.preagg_k != _DEFAULT_PREAGG_K
     ):
@@ -519,6 +537,14 @@ def _cmd_run(args) -> int:
         )
     title = ("I-GCN" if platform == "igcn" else report.platform)
     print(render_table([report.summary()], title=f"{title} on {ds.name}"))
+    if args.validate:
+        from repro.core.event_sim import validate_trace
+
+        validate_trace(report.event)
+        sim = report.event
+        print(f"event trace valid: {len(sim.trace)} events, "
+              f"{len(sim.islands)} units, makespan "
+              f"{sim.makespan:.1f} cycles")
     if args.functional:
         import numpy as np
 
@@ -949,6 +975,15 @@ def _cmd_bench(args) -> int:
             preagg_k=args.preagg_k,
             verify=not args.no_verify,
         )
+    elif args.suite == "event":
+        record = run_event_bench(
+            tiers=tiers,
+            repeats=args.repeats,
+            seed=args.seed,
+            c_max=args.cmax,
+            preagg_k=args.preagg_k,
+            verify=not args.no_verify,
+        )
     else:
         record = run_pipeline_bench(
             tiers=tiers,
@@ -1037,6 +1072,33 @@ def _cmd_bench(args) -> int:
             for row in record["tiers"]
         ]
         title = "pipeline overlap: staged vs streamed (modelled cycles)"
+    elif args.suite == "event":
+        rows = [
+            {
+                "tier": row["tier"],
+                "streamed_cyc": row["streamed_cycles"],
+                "event_cyc": row["event_cycles"],
+                "staged_cyc": row["staged_cycles"],
+                "overlap_win": row["overlap_win"],
+                "p50_us": row["p50_us"],
+                "p99_us": row["p99_us"],
+                "event_s": row["event_s"],
+                "ok": (
+                    "-"
+                    if row["sandwich"] is None
+                    else str(
+                        row["sandwich"]
+                        and row["deterministic"]
+                        and row["equal"]
+                    )
+                ),
+            }
+            for row in record["tiers"]
+        ]
+        title = (
+            "event pipeline: discrete-event makespan inside its "
+            "streamed/staged sandwich"
+        )
     else:
         rows = [
             {
@@ -1068,7 +1130,15 @@ def _cmd_bench(args) -> int:
     # Write the record first: on a divergence it is the evidence.
     Path(output).write_text(json.dumps(record, indent=2) + "\n")
     equal_key = "equal_p1" if args.suite == "partition" else "equal"
-    if any(row[equal_key] is False for row in record["tiers"]):
+    failed = any(row[equal_key] is False for row in record["tiers"])
+    if args.suite == "event":
+        # The event contract is wider than cross-mode equality: the
+        # sandwich bound and trace determinism gate the record too.
+        failed = failed or any(
+            row["sandwich"] is False or row["deterministic"] is False
+            for row in record["tiers"]
+        )
+    if failed:
         what = (
             "the partitions=1 oracle and the monolithic locator"
             if args.suite == "partition"
@@ -1077,6 +1147,8 @@ def _cmd_bench(args) -> int:
             else "the shard-routed update and the fleet re-record"
             if args.suite == "pincr"
             else "pipeline modes" if args.suite == "pipeline"
+            else "the event contract (sandwich/determinism/equality)"
+            if args.suite == "event"
             else "backends"
         )
         print(f"error: {what} diverged — see rows above and "

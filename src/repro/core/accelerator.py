@@ -20,7 +20,13 @@ Steps 1-3 run in one of two pipeline modes
   and end-to-end cycles come from the measured per-round release/work
   schedule (:func:`~repro.core.pipeline.streamed_schedule`);
 * ``"staged"`` — islandize to completion, then consume; cycles are the
-  plain sum of the two phases.
+  plain sum of the two phases;
+* ``"event"`` — the discrete-event refinement
+  (:mod:`repro.core.event_sim`): per-island release inside each round,
+  PE contention, ring/DHUB-PRC port arbitration and hub-cache
+  occupancy over event time; the report additionally carries the event
+  trace and per-island latency records (p50/p99), and the makespan is
+  sandwiched ``streamed <= event <= staged`` on every input.
 
 Counts, traffic, and functional outputs are byte-identical across
 modes (and across both locator/consumer backends); only the overlap
@@ -40,6 +46,7 @@ import numpy as np
 
 from repro.core.config import ConsumerConfig, LocatorConfig
 from repro.core.consumer import IslandConsumer, LayerCounts
+from repro.core.event_sim import EventSimResult, simulate_events
 from repro.core.interhub import build_interhub_plan
 from repro.core.islandizer import IslandLocator, islandize
 from repro.core.pipeline import pipelined_makespan, streamed_schedule
@@ -74,6 +81,12 @@ class IGCNReport(BaseReport):
     energy: EnergyReport
     pipeline: str = "streamed"
     outputs: np.ndarray | None = field(default=None, repr=False)
+    #: Event-mode only: the discrete-event trace + per-island records.
+    event: EventSimResult | None = field(default=None, repr=False)
+    #: Event-mode only: per-island release-to-completion latency
+    #: percentiles (the serving-story tail metric), in microseconds.
+    island_p50_us: float | None = None
+    island_p99_us: float | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -126,7 +139,7 @@ class IGCNReport(BaseReport):
 
     def _summary_extras(self) -> dict[str, object]:
         """Islandization and pruning metrics unique to I-GCN."""
-        return {
+        extras = {
             "rounds": self.islandization.num_rounds,
             "islands": self.islandization.num_islands,
             "hubs": self.islandization.num_hubs,
@@ -134,6 +147,16 @@ class IGCNReport(BaseReport):
             "prune_all": round(self.overall_pruning_rate, 4),
             "pipeline": self.pipeline,
         }
+        if self.pipeline == "event":
+            extras["island_p50_us"] = (
+                round(self.island_p50_us, 5)
+                if self.island_p50_us is not None else None
+            )
+            extras["island_p99_us"] = (
+                round(self.island_p99_us, 5)
+                if self.island_p99_us is not None else None
+            )
+        return extras
 
 
 class IGCNAccelerator:
@@ -183,7 +206,10 @@ class IGCNAccelerator:
         """
         if functional and features is None:
             raise SimulationError("functional mode requires features")
-        streamed = self.consumer_config.pipeline == "streamed"
+        # Event mode shares the streamed chunked execution path — the
+        # per-round work tallies it measures feed the event schedule —
+        # so counts/traffic/outputs stay byte-identical to streamed.
+        streamed = self.consumer_config.pipeline in ("streamed", "event")
         consumer = IslandConsumer(self.consumer_config, self.hw)
         if islandization is not None:
             # The locator already holds the self-loop-free copy it ran
@@ -282,9 +308,15 @@ class IGCNAccelerator:
             if functional:
                 x = execution.output
 
-        locator_cycles, consumer_cycles, total_cycles = self._latency(
-            result, layer_cycles, round_work if streamed else None
-        )
+        event = None
+        if self.consumer_config.pipeline == "event":
+            locator_cycles, consumer_cycles, total_cycles, event = (
+                self._event_latency(result, layer_cycles, round_work, model)
+            )
+        else:
+            locator_cycles, consumer_cycles, total_cycles = self._latency(
+                result, layer_cycles, round_work if streamed else None
+            )
         latency_s = self.hw.cycles_to_seconds(total_cycles)
         energy = estimate_energy(
             self.hw,
@@ -292,6 +324,8 @@ class IGCNAccelerator:
             macs=sum(c.total_macs for c in layer_counts),
             dram_bytes=meter.total_bytes,
         )
+        p50 = event.latency_percentile(50) if event is not None else None
+        p99 = event.latency_percentile(99) if event is not None else None
         return IGCNReport(
             graph_name=graph.name,
             model_name=model.name,
@@ -305,6 +339,13 @@ class IGCNAccelerator:
             energy=energy,
             pipeline=self.consumer_config.pipeline,
             outputs=x if functional else None,
+            event=event,
+            island_p50_us=(
+                self.hw.cycles_to_us(p50) if p50 is not None else None
+            ),
+            island_p99_us=(
+                self.hw.cycles_to_us(p99) if p99 is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -326,23 +367,7 @@ class IGCNAccelerator:
         (floored at the locator itself, which must still finish).  A
         small fixed fill covers the first-island delay in both modes.
         """
-        config = self.locator_config
-        # Adjacency beyond on-chip capacity pays DRAM bandwidth.
-        adjacency_spill = max(
-            0.0, result.work.total_adjacency_bytes - self.hw.onchip_capacity_bytes
-        )
-        spill_cycles_per_byte = (
-            adjacency_spill / result.work.total_adjacency_bytes
-            / self.hw.bytes_per_cycle
-            if result.work.total_adjacency_bytes
-            else 0.0
-        )
-        round_cycles = []
-        for stats in result.rounds:
-            detect = stats.detect_items / config.p1
-            scans = (stats.adjacency_bytes / 4) / config.p2
-            dram = stats.adjacency_bytes * spill_cycles_per_byte
-            round_cycles.append(max(detect, scans, dram))
+        round_cycles = self._round_cycles(result)
         locator_cycles = float(sum(round_cycles))
         consumer_cycles = float(sum(layer_cycles))
         pipeline_fill = self.PIPELINE_FILL_CYCLES
@@ -365,3 +390,95 @@ class IGCNAccelerator:
             pipelined_makespan(releases, chunks), locator_cycles
         ) + pipeline_fill
         return locator_cycles, consumer_cycles, total
+
+    # ------------------------------------------------------------------
+    def _round_cycles(self, result: IslandizationResult) -> list[float]:
+        """Per-round locator cycle estimates (shared by every mode).
+
+        Each round is the max of its hub-detection scan, its TP-BFS
+        adjacency scan, and — for adjacency beyond on-chip capacity —
+        its share of the DRAM spill bandwidth.
+        """
+        config = self.locator_config
+        # Adjacency beyond on-chip capacity pays DRAM bandwidth.
+        adjacency_spill = max(
+            0.0, result.work.total_adjacency_bytes - self.hw.onchip_capacity_bytes
+        )
+        spill_cycles_per_byte = (
+            adjacency_spill / result.work.total_adjacency_bytes
+            / self.hw.bytes_per_cycle
+            if result.work.total_adjacency_bytes
+            else 0.0
+        )
+        round_cycles = []
+        for stats in result.rounds:
+            detect = stats.detect_items / config.p1
+            scans = (stats.adjacency_bytes / 4) / config.p2
+            dram = stats.adjacency_bytes * spill_cycles_per_byte
+            round_cycles.append(max(detect, scans, dram))
+        return round_cycles
+
+    # ------------------------------------------------------------------
+    def _event_latency(
+        self,
+        result: IslandizationResult,
+        layer_cycles: list[float],
+        round_work: np.ndarray,
+        model: ModelConfig,
+    ) -> tuple[float, float, float, EventSimResult]:
+        """End-to-end cycles of the discrete-event pipeline mode.
+
+        The per-round consumer chunks come from the same
+        :func:`~repro.core.pipeline.streamed_schedule` the streamed
+        mode uses — so the event schedule conserves exactly the same
+        cycle total — and each chunk is split over the round's islands
+        by their member + hub counts, released at their production
+        times inside the round.  The makespan is floored at the
+        locator (which must still finish) plus the shared fill, which
+        keeps the sandwich ``streamed <= event <= staged`` structural
+        (see :mod:`repro.core.event_sim`).
+        """
+        round_cycles = self._round_cycles(result)
+        locator_cycles = float(sum(round_cycles))
+        consumer_cycles = float(sum(layer_cycles))
+        pipeline_fill = self.PIPELINE_FILL_CYCLES
+        num_pes = self.consumer_config.num_pes
+        row_bytes = 4 * max(
+            (layer.out_dim for layer in model.layers), default=1
+        )
+        cache_entries = max(1, self.hw.hub_xw_cache_bytes // row_bytes)
+        if not round_cycles:
+            # Degenerate graphs: no rounds, no schedule to refine —
+            # same start-to-finish total as the other modes.
+            sim = simulate_events(
+                [], [], [], num_pes=num_pes, cache_entries=cache_entries
+            )
+            return (
+                0.0, consumer_cycles, consumer_cycles + pipeline_fill, sim
+            )
+        _, chunks = streamed_schedule(
+            round_cycles, round_work.tolist(), consumer_cycles
+        )
+        round_index = {
+            stats.round_id: idx for idx, stats in enumerate(result.rounds)
+        }
+        round_islands: list[list[tuple[int, float, tuple[int, ...]]]] = [
+            [] for _ in round_cycles
+        ]
+        for island_id, island in enumerate(result.islands):
+            round_islands[round_index[island.round_id]].append(
+                (
+                    island_id,
+                    float(island.num_members + island.num_hubs),
+                    tuple(int(h) for h in island.hubs),
+                )
+            )
+        sim = simulate_events(
+            round_cycles,
+            round_islands,
+            chunks,
+            num_pes=num_pes,
+            cache_entries=cache_entries,
+        )
+        total = max(sim.makespan, locator_cycles) + pipeline_fill
+        return locator_cycles, consumer_cycles, total, sim

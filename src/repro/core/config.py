@@ -166,13 +166,19 @@ class ConsumerConfig:
         consumes per-round chunks as the Island Locator produces them
         and reports end-to-end cycles from the measured per-round
         release/work schedule; ``"staged"`` runs the two phases
-        strictly back-to-back and reports their sum.  Counts, DRAM
-        traffic, ring/cache statistics and functional outputs are
-        byte-identical in both modes (``tests/test_pipeline_stream.py``
-        pins this); only the overlap model — ``total_cycles`` and
-        everything derived from it — differs.  Like ``backend``, the
-        mode is part of the config digest, so cached reports and
-        summary rows never mix pipeline modes.
+        strictly back-to-back and reports their sum; ``"event"`` runs
+        the discrete-event refinement (``repro.core.event_sim``) —
+        per-island release inside each round, PE contention, ring and
+        DHUB-PRC port arbitration, hub-cache occupancy — and
+        additionally reports per-island latency records with p50/p99
+        summaries.  Counts, DRAM traffic, ring/cache statistics and
+        functional outputs are byte-identical in all modes
+        (``tests/test_pipeline_stream.py`` pins this); only the cycle
+        model — ``total_cycles`` and everything derived from it —
+        differs, and the event makespan is always sandwiched
+        ``streamed <= event <= staged``.  Like ``backend``, the mode is
+        part of the config digest, so cached reports and summary rows
+        never mix pipeline modes.
     """
 
     num_pes: int = 8
@@ -189,7 +195,8 @@ class ConsumerConfig:
             raise ConfigError(
                 f"backend must be 'batched' or 'scalar' (got {self.backend!r})"
             )
-        if self.pipeline not in ("streamed", "staged"):
+        if self.pipeline not in ("streamed", "staged", "event"):
             raise ConfigError(
-                f"pipeline must be 'streamed' or 'staged' (got {self.pipeline!r})"
+                f"pipeline must be 'streamed', 'staged' or 'event' "
+                f"(got {self.pipeline!r})"
             )

@@ -7,18 +7,22 @@ These are the load-bearing guarantees of the reproduction:
 * the window-scan reuse path is numerically identical to the plain
   per-edge aggregation for arbitrary bitmaps, widths, and boundaries;
 * reorderings always emit permutations;
-* the pipeline makespan is sandwiched between its lower bounds.
+* the pipeline makespan is sandwiched between its lower bounds;
+* the discrete-event refinement is sandwiched between the streamed and
+  staged models and conserves the consumer's work exactly.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import LocatorConfig, islandize
+from repro.core import ConsumerConfig, IGCNAccelerator, LocatorConfig, islandize
+from repro.core.event_sim import simulate_events, validate_trace
 from repro.core.preagg import scan_aggregate, scan_costs
 from repro.core.pipeline import pipelined_makespan, streamed_schedule
 from repro.graph import CSRGraph
 from repro.graph.reorder import get_reordering, reordering_names
+from repro.models import gcn_model
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +233,111 @@ class TestPipelineProperties:
         assert releases == sorted(releases)
         assert releases[-1] <= sum(round_cycles) + 1e-9
         assert np.isclose(sum(chunks), consumer_cycles)
+
+
+# ----------------------------------------------------------------------
+# Event-simulator properties
+# ----------------------------------------------------------------------
+@st.composite
+def event_schedules(draw, max_rounds=5, max_islands=4):
+    """Arbitrary round schedules for :func:`simulate_events`."""
+    rounds = draw(st.integers(1, max_rounds))
+    round_cycles = draw(
+        st.lists(st.floats(0, 50), min_size=rounds, max_size=rounds)
+    )
+    round_islands = []
+    uid = 0
+    for _ in range(rounds):
+        k = draw(st.integers(0, max_islands))
+        islands = []
+        for _ in range(k):
+            weight = draw(st.floats(0, 10))
+            hubs = tuple(
+                draw(
+                    st.lists(st.integers(0, 30), min_size=0, max_size=3)
+                )
+            )
+            islands.append((uid, weight, hubs))
+            uid += 1
+        round_islands.append(islands)
+    round_chunks = draw(
+        st.lists(st.floats(0, 80), min_size=rounds, max_size=rounds)
+    )
+    num_pes = draw(st.integers(1, 8))
+    return round_cycles, round_islands, round_chunks, num_pes
+
+
+class TestEventSimProperties:
+    """The three-way sandwich and conservation, hypothesis-pinned."""
+
+    @given(schedule=event_schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_sandwich_and_conservation(self, schedule):
+        """``pipelined_makespan <= event <= L_total + C`` on arbitrary
+        schedules — the structural form of ``streamed <= event <=
+        staged`` — plus exact work conservation and a clean replay."""
+        round_cycles, round_islands, round_chunks, num_pes = schedule
+        sim = simulate_events(
+            round_cycles, round_islands, round_chunks, num_pes=num_pes
+        )
+        validate_trace(sim)
+        consumed = float(sum(round_chunks))
+        carried = sum(
+            chunk
+            for islands, chunk in zip(round_islands, round_chunks)
+            if islands or chunk > 0.0
+        )
+        assert np.isclose(sim.work_total, carried, atol=1e-6)
+        assert np.isclose(
+            sim.busy_pe_cycles, num_pes * sim.work_total, atol=1e-6
+        )
+        # The accelerator composes totals as max(makespan, locator);
+        # compare at that level — a zero-work trailing round moves the
+        # aggregate lower bound to its release time, which the event
+        # model (correctly) has no unit to wait for.
+        locator_total = float(sum(round_cycles))
+        starts, chunks = streamed_schedule(
+            round_cycles, round_chunks, consumed
+        )
+        lower = max(pipelined_makespan(starts, chunks), locator_total)
+        upper = locator_total + consumed
+        event_total = max(sim.makespan, locator_total)
+        assert lower - 1e-6 <= event_total <= upper + 1e-6
+
+    @given(schedule=event_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_determinism(self, schedule):
+        round_cycles, round_islands, round_chunks, num_pes = schedule
+        a = simulate_events(
+            round_cycles, round_islands, round_chunks, num_pes=num_pes
+        )
+        b = simulate_events(
+            round_cycles, round_islands, round_chunks, num_pes=num_pes
+        )
+        assert a.trace_bytes() == b.trace_bytes()
+
+    @given(graph=graphs(max_nodes=30, max_edges=80), cmax=st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_modes_sandwich_end_to_end(self, graph, cmax):
+        """``streamed <= event <= staged`` on full inferences over
+        arbitrary graphs, with the event trace replay-validated and the
+        event mode conserving the chunked consumer's cycle tally."""
+        model = gcn_model(8, 4)
+        reports = {}
+        for mode in ("staged", "streamed", "event"):
+            accelerator = IGCNAccelerator(
+                locator=LocatorConfig(c_max=cmax),
+                consumer=ConsumerConfig(pipeline=mode),
+            )
+            reports[mode] = accelerator.run(graph, model)
+        sim = reports["event"].event
+        validate_trace(sim)
+        assert np.isclose(sim.work_total, sim.consumer_cycles, atol=1e-6)
+        assert (
+            reports["streamed"].total_cycles - 1e-6
+            <= reports["event"].total_cycles
+            <= reports["staged"].total_cycles + 1e-6
+        )
 
 
 # ----------------------------------------------------------------------
